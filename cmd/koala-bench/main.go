@@ -1,0 +1,151 @@
+// Command koala-bench regenerates the tables and figures of the paper's
+// evaluation section (see DESIGN.md section 4 for the experiment index).
+//
+// Usage:
+//
+//	koala-bench [-full] <experiment>...
+//	koala-bench all
+//
+// Experiments: table2 fig7a fig7b fig8a fig8b fig9 fig10 fig11 fig12
+// fig13a fig13b fig14. The -full flag selects larger sweeps closer to the
+// paper's parameters (minutes to hours on one core); the default sizes
+// finish quickly and preserve the swept shapes.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"gokoala/internal/bench"
+)
+
+func main() {
+	full := flag.Bool("full", false, "run the larger parameter sweeps")
+	flag.Parse()
+	args := flag.Args()
+	if len(args) == 0 {
+		usage()
+		os.Exit(2)
+	}
+	if len(args) == 1 && args[0] == "all" {
+		args = []string{"table2", "fig7a", "fig7b", "fig8a", "fig8b", "fig9", "fig10", "fig11", "fig12", "fig13a", "fig13b", "fig14", "ablation"}
+	}
+	w := os.Stdout
+	for i, name := range args {
+		if i > 0 {
+			fmt.Fprintf(w, "\n%s\n\n", divider)
+		}
+		switch name {
+		case "table2":
+			cfg := bench.DefaultTable2Config()
+			if *full {
+				cfg.N = 6
+				cfg.Bonds = []int{2, 3, 4, 5}
+				cfg.Ms = []int{4, 8, 16, 32, 64}
+			}
+			bench.ExperimentTable2(w, cfg)
+		case "fig7a":
+			cfg := bench.DefaultFig7aConfig()
+			if *full {
+				cfg.N = 8
+				cfg.Bonds = []int{2, 4, 8, 12, 16}
+			}
+			bench.ExperimentFig7(w, cfg, true)
+		case "fig7b":
+			cfg := bench.DefaultFig7bConfig()
+			if *full {
+				cfg.N = 10
+				cfg.Bonds = []int{2, 4, 8, 12}
+			}
+			bench.ExperimentFig7(w, cfg, false)
+		case "fig8a":
+			cfg := bench.DefaultFig8aConfig()
+			if *full {
+				cfg.N = 8
+				cfg.Bonds = []int{2, 4, 8, 16}
+				cfg.ExactMax = 6
+			}
+			bench.ExperimentFig8(w, cfg, true)
+		case "fig8b":
+			cfg := bench.DefaultFig8bConfig()
+			if *full {
+				cfg.N = 10
+				cfg.Bonds = []int{2, 4, 8, 16}
+			}
+			bench.ExperimentFig8(w, cfg, false)
+		case "fig9":
+			cfg := bench.DefaultFig9Config()
+			if *full {
+				cfg.Sides = []int{2, 3, 4, 5, 6, 7, 8}
+				cfg.Bond = 3
+				cfg.M = 9
+			}
+			bench.ExperimentFig9(w, cfg)
+		case "fig10":
+			cfg := bench.DefaultFig10Config()
+			if *full {
+				cfg.Sides = []int{4, 5, 6}
+				cfg.Layers = 6
+				cfg.Ms = []int{1, 2, 4, 8, 16, 32, 64}
+			}
+			bench.ExperimentFig10(w, cfg)
+		case "fig11":
+			cfg := bench.DefaultFig11Config()
+			if *full {
+				cfg.N = 8
+				cfg.SmallBond = 6
+				cfg.LargeBond = 10
+			}
+			bench.ExperimentFig11(w, cfg)
+		case "fig12":
+			cfg := bench.DefaultFig12Config()
+			if *full {
+				cfg.BaseBond = 6
+				cfg.BaseM = 8
+			}
+			bench.ExperimentFig12(w, cfg)
+		case "fig13a":
+			cfg := bench.DefaultFig13Config()
+			if *full {
+				cfg.Steps = 150
+				cfg.Bonds = []int{1, 2, 3, 4}
+			}
+			bench.ExperimentFig13a(w, cfg)
+		case "fig13b":
+			cfg := bench.DefaultFig13Config()
+			if *full {
+				cfg.Steps = 150
+				cfg.Bonds = []int{1, 2, 3, 4, 5, 6}
+			}
+			bench.ExperimentFig13b(w, cfg)
+		case "fig14":
+			cfg := bench.DefaultFig14Config()
+			if *full {
+				cfg.Bonds = []int{1, 2, 3, 4}
+				cfg.MaxIter = 200
+			}
+			bench.ExperimentFig14(w, cfg)
+		case "ablation":
+			cfg := bench.AblationConfig{Seed: 11}
+			bench.ExperimentAblationRSVD(w, cfg)
+			fmt.Fprintf(w, "\n%s\n\n", divider)
+			bench.ExperimentAblationUpdate(w, cfg)
+			fmt.Fprintf(w, "\n%s\n\n", divider)
+			bench.ExperimentAblationCanonical(w, cfg)
+			fmt.Fprintf(w, "\n%s\n\n", divider)
+			bench.ExperimentAblationWeighted(w, cfg)
+		default:
+			fmt.Fprintf(os.Stderr, "unknown experiment %q\n", name)
+			usage()
+			os.Exit(2)
+		}
+	}
+}
+
+const divider = "================================================================"
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: koala-bench [-full] <experiment>...
+experiments: table2 fig7a fig7b fig8a fig8b fig9 fig10 fig11 fig12 fig13a fig13b fig14 ablation | all`)
+}

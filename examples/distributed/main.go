@@ -1,0 +1,56 @@
+// distributed demonstrates the simulated distributed-memory backend: the
+// same TEBD evolution layer runs under the three algorithm variants of
+// paper Figure 7 (qr-svd, local-gram-qr, local-gram-qr-svd), and the
+// communication accounting shows why the Gram-matrix method of paper
+// Algorithm 5 wins — it never redistributes the large site tensors.
+package main
+
+import (
+	"fmt"
+	"math/rand"
+
+	"gokoala/internal/backend"
+	"gokoala/internal/dist"
+	"gokoala/internal/peps"
+	"gokoala/internal/quantum"
+)
+
+func main() {
+	const n, bond, ranks = 6, 6, 1024
+	fmt.Printf("one TEBD layer on a %dx%d PEPS, bond %d, %d simulated ranks (%d nodes)\n\n",
+		n, n, bond, ranks, dist.Stampede2(ranks).Nodes())
+
+	variants := []struct {
+		name    string
+		useGram bool
+		local   bool
+	}{
+		{"qr-svd (distributed reshape + gather)", false, false},
+		{"local-gram-qr (paper Algorithm 5)", true, false},
+		{"local-gram-qr-svd (Alg. 5 + local SVD)", true, true},
+	}
+	for _, v := range variants {
+		grid := dist.NewGrid(dist.Stampede2(ranks))
+		eng := &backend.Dist{Grid: grid, UseGram: v.useGram, LocalSVD: v.local}
+		rng := rand.New(rand.NewSource(3))
+		state := peps.Random(eng, rng, n, n, 2, bond)
+		gate := quantum.ISwap()
+		opts := peps.UpdateOptions{Rank: bond, Method: peps.UpdateQR}
+		for r := 0; r < n; r++ {
+			for c := 0; c+1 < n; c++ {
+				state.ApplyTwoSite(gate, state.SiteIndex(r, c), state.SiteIndex(r, c+1), opts)
+			}
+		}
+		for r := 0; r+1 < n; r++ {
+			for c := 0; c < n; c++ {
+				state.ApplyTwoSite(gate, state.SiteIndex(r, c), state.SiteIndex(r+1, c), opts)
+			}
+		}
+		s := grid.Snapshot()
+		fmt.Printf("%-42s modeled %.4fs  comm %.1f%%  %8d KB moved  %4d redistributions\n",
+			v.name, s.ModeledSeconds(), 100*s.CommSeconds()/s.ModeledSeconds(),
+			s.Bytes/1024, s.Redistributions)
+	}
+	fmt.Println("\nthe Gram variants move a fraction of the data and avoid most")
+	fmt.Println("redistributions, the effect behind the up-to-3.7x speedup of paper Fig. 7.")
+}

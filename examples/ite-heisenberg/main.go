@@ -1,0 +1,46 @@
+// ite-heisenberg runs the paper's Figure 13 workload at laptop scale:
+// imaginary time evolution of the 4x4 spin-1/2 J1-J2 Heisenberg model
+// (J1 = 1.0, J2 = 0.5, h = 0.2), comparing PEPS bond dimensions against
+// the exact ground state and the state-vector TEBD reference.
+package main
+
+import (
+	"fmt"
+	"math/rand"
+
+	"gokoala/internal/backend"
+	"gokoala/internal/einsumsvd"
+	"gokoala/internal/ite"
+	"gokoala/internal/peps"
+	"gokoala/internal/quantum"
+	"gokoala/internal/statevector"
+)
+
+func main() {
+	const rows, cols = 4, 4
+	const tau, steps = 0.05, 60
+	obs := quantum.J1J2Heisenberg(rows, cols, quantum.PaperJ1J2Params())
+
+	exactE, _ := statevector.GroundState(obs, rows*cols, rand.New(rand.NewSource(1)))
+	fmt.Printf("exact ground state energy per site: %.6f\n", exactE/float64(rows*cols))
+
+	svTrace := statevector.ITE(obs, rows*cols, tau, steps)
+	fmt.Printf("state-vector ITE after %d steps:    %.6f\n\n", steps, svTrace[steps-1]/float64(rows*cols))
+
+	eng := backend.NewDense()
+	for _, r := range []int{1, 2, 3} {
+		state := ite.PlusState(peps.ComputationalZeros(eng, rows, cols))
+		res := ite.Evolve(state, obs, ite.Options{
+			Tau:             tau,
+			Steps:           steps,
+			EvolutionRank:   r,
+			ContractionRank: r * r,
+			Strategy:        einsumsvd.ImplicitRand{Rng: rand.New(rand.NewSource(int64(r)))},
+			MeasureEvery:    steps / 4,
+			UseCache:        true,
+		})
+		fmt.Printf("PEPS r=%d (m=r^2): energies per site at steps %v:\n  %v\n",
+			r, res.MeasuredAt, res.Energies)
+	}
+	fmt.Println("\nhigher bond dimension tracks the reference more closely (paper Fig. 13).")
+}

@@ -1,0 +1,45 @@
+// rqc-amplitude evolves a Google-style random quantum circuit on a PEPS
+// exactly, then computes one output amplitude with approximate boundary
+// contraction at growing contraction bond dimension, reproducing the
+// threshold behaviour of the paper's Figure 10 at laptop scale.
+package main
+
+import (
+	"fmt"
+	"math/rand"
+
+	"gokoala/internal/backend"
+	"gokoala/internal/einsumsvd"
+	"gokoala/internal/peps"
+	"gokoala/internal/rqc"
+)
+
+func main() {
+	const n, layers = 4, 4
+	rng := rand.New(rand.NewSource(7))
+	circ := rqc.Generate(rng, n, n, layers)
+	fmt.Printf("generated %d-layer RQC on a %dx%d lattice (%d gates)\n", layers, n, n, len(circ.Gates))
+
+	eng := backend.NewDense()
+	state := peps.ComputationalZeros(eng, n, n)
+	for _, g := range circ.Gates {
+		state.ApplyGate(g, peps.UpdateOptions{Rank: 0, Method: peps.UpdateQR}) // exact evolution
+	}
+	fmt.Printf("exact evolution reached bond dimension %d\n\n", state.MaxBond())
+
+	bits := rqc.RandomBits(rng, n*n)
+	proj := state.Project(bits)
+	exact := proj.ContractScalar(peps.Exact{})
+	fmt.Printf("exact amplitude: %.6e%+.6ei\n\n", real(exact), imag(exact))
+
+	fmt.Println("m    rel.err(BMPS)  rel.err(IBMPS)")
+	for _, m := range []int{1, 2, 4, 8, 16} {
+		eb := peps.RelativeError(proj.ContractScalar(peps.BMPS{M: m, Strategy: einsumsvd.Explicit{}}), exact)
+		ib := peps.RelativeError(proj.ContractScalar(peps.BMPS{
+			M: m, Strategy: einsumsvd.ImplicitRand{Rng: rand.New(rand.NewSource(int64(m)))},
+		}), exact)
+		fmt.Printf("%-4d %-14.3e %-14.3e\n", m, eb, ib)
+	}
+	fmt.Println("\nerror collapses to machine precision above a threshold in m, with the")
+	fmt.Println("implicit randomized SVD adding no error (paper Fig. 10).")
+}

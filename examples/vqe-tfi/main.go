@@ -1,0 +1,34 @@
+// vqe-tfi runs the paper's Figure 14 workload: VQE for the 3x3
+// ferromagnetic transverse-field Ising model (Jz = -1, hx = -3.5) with
+// the layered Ry+CNOT ansatz, comparing a PEPS simulation against the
+// exact state-vector objective and the true ground state.
+package main
+
+import (
+	"fmt"
+	"math/rand"
+
+	"gokoala/internal/quantum"
+	"gokoala/internal/statevector"
+	"gokoala/internal/vqe"
+)
+
+func main() {
+	const rows, cols, layers = 3, 3, 2
+	obs := quantum.TransverseFieldIsing(rows, cols, -1, -3.5)
+
+	exactE, _ := statevector.GroundState(obs, rows*cols, rand.New(rand.NewSource(1)))
+	fmt.Printf("exact ground state energy per site: %.5f (paper: -3.60024)\n\n", exactE/float64(rows*cols))
+
+	a := vqe.Ansatz{Rows: rows, Cols: cols, Layers: layers}
+
+	sv := vqe.Run(a, obs, vqe.Options{Rank: 0, MaxIter: 40, Seed: 2})
+	fmt.Printf("state-vector VQE: %.5f per site after %d evaluations\n", sv.EnergyPerSite, sv.Evals)
+
+	for _, r := range []int{1, 2} {
+		res := vqe.Run(a, obs, vqe.Options{Rank: r, MaxIter: 40, Seed: 2, UseCache: true})
+		fmt.Printf("PEPS VQE r=%d:     %.5f per site after %d evaluations\n", r, res.EnergyPerSite, res.Evals)
+	}
+	fmt.Println("\nr=1 saturates near the product-state floor (-3.5); higher bond dimension")
+	fmt.Println("approaches the state-vector optimum (paper Fig. 14).")
+}

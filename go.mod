@@ -1,0 +1,3 @@
+module gokoala
+
+go 1.22

@@ -1,0 +1,68 @@
+// Package backend abstracts the tensor-computation substrate the PEPS
+// algorithms run on, mirroring Koala's tensorbackends layer. Two engines
+// are provided: Dense executes everything with the in-process sequential
+// kernels (the NumPy analog), and Dist routes the heavy operations
+// through the simulated distributed-memory grid (the Cyclops analog),
+// with selectable orthogonalization variants that reproduce the
+// qr-svd / local-gram-qr / local-gram-qr-svd algorithm family benchmarked
+// in paper Figure 7.
+package backend
+
+import (
+	"math/rand"
+
+	"gokoala/internal/einsum"
+	"gokoala/internal/linalg"
+	"gokoala/internal/tensor"
+)
+
+// Engine is the set of kernels the tensor-network layer needs. All
+// tensors are plain dense tensors; engines differ in how (and at what
+// modeled cost) they execute the kernels.
+type Engine interface {
+	// Name identifies the engine in benchmark output.
+	Name() string
+	// Einsum contracts a network of dense tensors.
+	Einsum(spec string, ops ...*tensor.Dense) *tensor.Dense
+	// QRSplit factors tensor t, with its first leftAxes axes as rows,
+	// into an isometry Q and a small factor R (paper Algorithm 1 step).
+	QRSplit(t *tensor.Dense, leftAxes int) (q, r *tensor.Dense)
+	// TruncSVD computes the rank-truncated SVD of a matrix.
+	TruncSVD(m *tensor.Dense, rank int) (u *tensor.Dense, s []float64, v *tensor.Dense)
+	// Orth orthonormalizes the columns of a tall block vector; used inside
+	// randomized SVD (paper Algorithm 4).
+	Orth(x *tensor.Dense) *tensor.Dense
+}
+
+// Dense is the sequential in-memory engine.
+type Dense struct{}
+
+// NewDense returns the sequential engine.
+func NewDense() *Dense { return &Dense{} }
+
+func (*Dense) Name() string { return "dense" }
+
+func (*Dense) Einsum(spec string, ops ...*tensor.Dense) *tensor.Dense {
+	return einsum.MustContract(spec, ops...)
+}
+
+func (*Dense) QRSplit(t *tensor.Dense, leftAxes int) (*tensor.Dense, *tensor.Dense) {
+	return linalg.QRSplit(t, leftAxes)
+}
+
+func (*Dense) TruncSVD(m *tensor.Dense, rank int) (*tensor.Dense, []float64, *tensor.Dense) {
+	return linalg.TruncatedSVD(m, rank)
+}
+
+func (*Dense) Orth(x *tensor.Dense) *tensor.Dense { return linalg.OrthQR(x) }
+
+// RandSVD runs the implicit randomized SVD of paper Algorithm 4 using the
+// engine's orthogonalization kernel for the orthogonal-iteration steps.
+func RandSVD(e Engine, op linalg.Operator, rank int, nIter, oversample int, rng *rand.Rand) (*tensor.Dense, []float64, *tensor.Dense) {
+	return linalg.RandSVD(op, rank, linalg.RandSVDOptions{
+		NIter:      nIter,
+		Oversample: oversample,
+		Orth:       e.Orth,
+		Rng:        rng,
+	})
+}

@@ -1,0 +1,373 @@
+package dist
+
+import (
+	"math"
+	"sync"
+
+	"gokoala/internal/tensor"
+)
+
+// Grid is an SPMD execution context: a machine model plus the accumulated
+// communication and computation accounting of every distributed operation
+// executed on it. Block computations really execute as one goroutine per
+// (occupied) rank over disjoint row blocks; the accounting converts the
+// measured message, byte, and flop counts into modeled seconds on the
+// machine. The public API is meant to be driven from a single
+// orchestrating goroutine.
+type Grid struct {
+	Machine Machine
+
+	mu          sync.Mutex
+	msgs        int64
+	bytes       int64
+	commLatSecs float64
+	bwGemm      float64 // GEMM-lower-bound traffic (scales ~ flops/sqrt(memory))
+	bwBig       float64 // full-tensor redistributions and gathers (scale ~ r^4)
+	bwSmall     float64 // small-matrix collectives of the Gram path (scale ~ r^2)
+	compSecs    float64
+	parFlops    int64
+	seqFlops    int64
+	redistCount int64
+}
+
+// NewGrid returns a grid for the given machine model.
+func NewGrid(m Machine) *Grid {
+	if m.Ranks < 1 {
+		m.Ranks = 1
+	}
+	return &Grid{Machine: m}
+}
+
+// Stats is a snapshot of a grid's accounting. Subtract two snapshots with
+// Sub to measure a region.
+type Stats struct {
+	Msgs  int64
+	Bytes int64
+	// CommLatencySeconds is the alpha (message startup) component of
+	// communication time; the three bandwidth components split the beta
+	// (byte transfer) time by how the payload scales with bond dimension:
+	// GEMM-lower-bound traffic, full-tensor moves, and the small-matrix
+	// collectives of the Gram method.
+	CommLatencySeconds float64
+	BWGemmSeconds      float64
+	BWBigSeconds       float64
+	BWSmallSeconds     float64
+	CompSeconds        float64
+	ParallelFlops      int64
+	SequentialFlops    int64
+	Redistributions    int64
+}
+
+// CommBandwidthSeconds is the total byte-transfer time.
+func (s Stats) CommBandwidthSeconds() float64 {
+	return s.BWGemmSeconds + s.BWBigSeconds + s.BWSmallSeconds
+}
+
+// CommSeconds is the total communication time.
+func (s Stats) CommSeconds() float64 { return s.CommLatencySeconds + s.CommBandwidthSeconds() }
+
+// Sub returns s - prev, the accounting of the region between two snapshots.
+func (s Stats) Sub(prev Stats) Stats {
+	return Stats{
+		Msgs:               s.Msgs - prev.Msgs,
+		Bytes:              s.Bytes - prev.Bytes,
+		CommLatencySeconds: s.CommLatencySeconds - prev.CommLatencySeconds,
+		BWGemmSeconds:      s.BWGemmSeconds - prev.BWGemmSeconds,
+		BWBigSeconds:       s.BWBigSeconds - prev.BWBigSeconds,
+		BWSmallSeconds:     s.BWSmallSeconds - prev.BWSmallSeconds,
+		CompSeconds:        s.CompSeconds - prev.CompSeconds,
+		ParallelFlops:      s.ParallelFlops - prev.ParallelFlops,
+		SequentialFlops:    s.SequentialFlops - prev.SequentialFlops,
+		Redistributions:    s.Redistributions - prev.Redistributions,
+	}
+}
+
+// ModeledSeconds is the modeled wall time of the region: communication
+// plus compute (compute was already divided by the parallelism each
+// kernel achieves when it was recorded).
+func (s Stats) ModeledSeconds() float64 { return s.CommSeconds() + s.CompSeconds }
+
+// Reset zeroes all counters.
+func (g *Grid) Reset() {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.msgs, g.bytes, g.parFlops, g.seqFlops, g.redistCount = 0, 0, 0, 0, 0
+	g.commLatSecs, g.bwGemm, g.bwBig, g.bwSmall, g.compSecs = 0, 0, 0, 0, 0
+}
+
+// Snapshot returns the current counters.
+func (g *Grid) Snapshot() Stats {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return Stats{g.msgs, g.bytes, g.commLatSecs, g.bwGemm, g.bwBig, g.bwSmall, g.compSecs, g.parFlops, g.seqFlops, g.redistCount}
+}
+
+// --- collective accounting ---
+
+// bandwidth classes for addComm
+type bwClass int
+
+const (
+	bwClassGemm bwClass = iota
+	bwClassBig
+	bwClassSmall
+)
+
+func (g *Grid) addComm(msgs int64, bytes int64, latSecs, bwSecs float64, class bwClass) {
+	g.mu.Lock()
+	g.msgs += msgs
+	g.bytes += bytes
+	g.commLatSecs += latSecs
+	switch class {
+	case bwClassGemm:
+		g.bwGemm += bwSecs
+	case bwClassBig:
+		g.bwBig += bwSecs
+	default:
+		g.bwSmall += bwSecs
+	}
+	g.mu.Unlock()
+}
+
+// Allgather meters an allgather of totalBytes aggregate payload.
+func (g *Grid) Allgather(totalBytes int64) {
+	if g.Machine.Ranks <= 1 {
+		return
+	}
+	lat, bw := g.Machine.allgatherSeconds(totalBytes)
+	g.addComm(int64(g.Machine.Ranks), totalBytes, lat, bw, bwClassBig)
+}
+
+// Allreduce meters an allreduce of a bytes-sized buffer replicated on
+// every rank (recursive halving/doubling: twice the allgather volume).
+func (g *Grid) Allreduce(bytes int64) {
+	if g.Machine.Ranks <= 1 {
+		return
+	}
+	lat, bw := g.Machine.allgatherSeconds(bytes)
+	g.addComm(2*log2msgs(g.Machine.Ranks), bytes, 2*lat, 2*bw, bwClassSmall)
+}
+
+// AllToAll meters a full redistribution (the cost of a distributed
+// reshape or transpose, the bottleneck paper section V-C removes).
+func (g *Grid) AllToAll(totalBytes int64) {
+	if g.Machine.Ranks <= 1 {
+		return
+	}
+	g.mu.Lock()
+	g.redistCount++
+	g.mu.Unlock()
+	lat, bw := g.Machine.alltoallSeconds(totalBytes)
+	g.addComm(int64(g.Machine.Ranks)*int64(g.Machine.Ranks-1), totalBytes, lat, bw, bwClassBig)
+}
+
+// Gather meters collecting a distributed tensor onto one rank (or the
+// reverse scatter; the cost model is symmetric).
+func (g *Grid) Gather(totalBytes int64) {
+	if g.Machine.Ranks <= 1 {
+		return
+	}
+	lat, bw := g.Machine.gatherSeconds(totalBytes)
+	g.addComm(int64(g.Machine.Ranks), totalBytes, lat, bw, bwClassBig)
+}
+
+// Bcast meters broadcasting bytes from one rank to all.
+func (g *Grid) Bcast(bytes int64) {
+	if g.Machine.Ranks <= 1 {
+		return
+	}
+	lat, bw := g.Machine.bcastSeconds(bytes)
+	g.addComm(log2msgs(g.Machine.Ranks), bytes, lat, bw, bwClassSmall)
+}
+
+func log2msgs(p int) int64 {
+	n := int64(0)
+	for v := 1; v < p; v <<= 1 {
+		n++
+	}
+	return n
+}
+
+// ParallelFlops credits flops that are evenly distributed over the ranks.
+func (g *Grid) ParallelFlops(n int64) {
+	g.mu.Lock()
+	g.parFlops += n
+	g.compSecs += g.Machine.Gamma * float64(n) / float64(g.Machine.Ranks)
+	g.mu.Unlock()
+}
+
+// Sequential runs f, measuring the flops it adds to the global tensor
+// counter, and accounts them as single-rank work (small local matrices in
+// the Gram-method path, paper Algorithm 5 steps 3-8).
+func (g *Grid) Sequential(f func()) { g.PartialParallel(1, f) }
+
+// PartialParallel runs f and accounts its measured flops at an effective
+// parallelism of eff ranks. This models kernels like ScaLAPACK SVD whose
+// scalability saturates well below the GEMM-style rank count.
+func (g *Grid) PartialParallel(eff int, f func()) {
+	if eff < 1 {
+		eff = 1
+	}
+	if eff > g.Machine.Ranks {
+		eff = g.Machine.Ranks
+	}
+	before := tensor.FlopCount()
+	f()
+	delta := tensor.FlopCount() - before
+	g.mu.Lock()
+	if eff == 1 {
+		g.seqFlops += delta
+	} else {
+		g.parFlops += delta
+	}
+	g.compSecs += g.Machine.Gamma * float64(delta) / float64(eff)
+	g.mu.Unlock()
+}
+
+const bytesPerElem = 16 // complex128
+
+// GemmComm meters the communication of one distributed GEMM of the given
+// total flop count over operands/result totalling elems tensor elements.
+// Cyclops-class frameworks choose processor mappings approaching the
+// communication lower bound for matrix multiplication (Irony, Toledo,
+// Tiskin): per-rank traffic >= flops_per_rank / sqrt(local memory), with
+// ~2 sqrt(P) message rounds. We charge exactly that bound; simpler
+// 2-D algorithms would only be a constant factor away.
+func (g *Grid) GemmComm(flops, elems int64) {
+	p := g.Machine.Ranks
+	if p <= 1 {
+		return
+	}
+	perRank := float64(elems) / float64(p)
+	if perRank < 1 {
+		perRank = 1
+	}
+	bwBytes := 2 * bytesPerElem * float64(flops) / float64(p) / math.Sqrt(perRank)
+	rounds := 2 * math.Sqrt(float64(p))
+	g.addComm(int64(rounds), int64(bwBytes), g.Machine.alphaEff()*rounds, g.Machine.betaEff()*bwBytes, bwClassGemm)
+}
+
+// --- distributed kernels ---
+
+// workers returns how many rank goroutines to actually spawn for a block
+// computation of `rows` rows totalling `flops` work: never more than rows
+// or ranks, and few enough that each goroutine gets a meaningful chunk
+// (spawning 64 goroutines for a 100-flop multiply would measure scheduler
+// overhead, not the algorithm). The accounting is unaffected — modeled
+// costs always use the full rank count.
+func (g *Grid) workers(rows int, flops int64) int {
+	w := g.Machine.Ranks
+	if rows < w {
+		w = rows
+	}
+	if byWork := int(flops/32768) + 1; byWork < w {
+		w = byWork
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// MatMul computes C = A @ B with A row-block distributed across the
+// ranks. The stationary operand B is allgathered, each rank goroutine
+// computes its own row block with the sequential kernel, and the row
+// blocks concatenate into C (which stays row-distributed, so no gather
+// is metered).
+func (g *Grid) MatMul(a, b *tensor.Dense) *tensor.Dense {
+	m, k := a.Dim(0), a.Dim(1)
+	n := b.Dim(1)
+	flops := int64(m) * int64(n) * int64(k)
+	g.GemmComm(flops, int64(a.Size()+b.Size())+int64(m)*int64(n))
+	g.ParallelFlops(flops)
+
+	out := tensor.New(m, n)
+	w := g.workers(m, flops)
+	var wg sync.WaitGroup
+	for r := 0; r < w; r++ {
+		lo := m * r / w
+		hi := m * (r + 1) / w
+		if lo == hi {
+			continue
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			ablk := tensor.FromData(a.Data()[lo*k:hi*k], hi-lo, k)
+			cblk := tensor.MatMul(ablk, b)
+			copy(out.Data()[lo*n:hi*n], cblk.Data())
+		}(lo, hi)
+	}
+	wg.Wait()
+	return out
+}
+
+// BatchMatMul is the batched counterpart used by einsum lowering: operands
+// [bt, m, k] and [bt, k, n]. The batch is distributed when it is at least
+// the rank count, otherwise each slice's rows are distributed.
+func (g *Grid) BatchMatMul(a, b *tensor.Dense) *tensor.Dense {
+	bt, m, k := a.Dim(0), a.Dim(1), a.Dim(2)
+	n := b.Dim(2)
+	if bt == 1 {
+		return g.MatMul(a.Reshape(m, k), b.Reshape(k, n)).Reshape(1, m, n)
+	}
+	flops := int64(bt) * int64(m) * int64(n) * int64(k)
+	g.GemmComm(flops, int64(a.Size()+b.Size())+int64(bt)*int64(m)*int64(n))
+	g.ParallelFlops(flops)
+	out := tensor.New(bt, m, n)
+	w := g.workers(bt, flops)
+	var wg sync.WaitGroup
+	for r := 0; r < w; r++ {
+		lo := bt * r / w
+		hi := bt * (r + 1) / w
+		if lo == hi {
+			continue
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			ablk := tensor.FromData(a.Data()[lo*m*k:hi*m*k], hi-lo, m, k)
+			bblk := tensor.FromData(b.Data()[lo*k*n:hi*k*n], hi-lo, k, n)
+			cblk := tensor.BatchMatMul(ablk, bblk)
+			copy(out.Data()[lo*m*n:hi*m*n], cblk.Data())
+		}(lo, hi)
+	}
+	wg.Wait()
+	return out
+}
+
+// GramMatrix computes G = A^H A for a row-block distributed m-by-n A
+// without any redistribution: each rank forms the n-by-n Gram matrix of
+// its own row block locally and the contributions are allreduced. This is
+// the communication pattern that makes paper Algorithm 5 cheap — only
+// n^2 elements ever cross the network.
+func (g *Grid) GramMatrix(a *tensor.Dense) *tensor.Dense {
+	m, n := a.Dim(0), a.Dim(1)
+	flops := int64(m) * int64(n) * int64(n)
+	g.ParallelFlops(flops)
+	w := g.workers(m, flops)
+	partials := make([]*tensor.Dense, w)
+	var wg sync.WaitGroup
+	for r := 0; r < w; r++ {
+		lo := m * r / w
+		hi := m * (r + 1) / w
+		if lo == hi {
+			continue
+		}
+		wg.Add(1)
+		go func(r, lo, hi int) {
+			defer wg.Done()
+			ablk := tensor.FromData(a.Data()[lo*n:hi*n], hi-lo, n)
+			partials[r] = tensor.MatMul(ablk.Conj().Transpose(1, 0), ablk)
+		}(r, lo, hi)
+	}
+	wg.Wait()
+	g.Allreduce(int64(n) * int64(n) * bytesPerElem)
+	sum := tensor.New(n, n)
+	for _, p := range partials {
+		if p != nil {
+			sum = sum.Add(p)
+		}
+	}
+	return sum
+}

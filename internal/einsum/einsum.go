@@ -1,0 +1,364 @@
+// Package einsum implements Einstein-summation contraction of dense
+// complex tensors, mirroring the role numpy.einsum and Cyclops' einsum
+// play for the Koala library. A spec like "abc,cd->abd" names every axis
+// with a letter; repeated letters across operands are contracted, letters
+// in the output are kept, and letters appearing in a single operand but
+// not in the output are summed out.
+//
+// Multi-operand contractions are reduced to a sequence of pairwise
+// contractions chosen greedily by estimated flop count; each pairwise
+// contraction is lowered to transposes plus one batched GEMM. Hooks allow
+// callers (the simulated distributed backend) to observe every GEMM and
+// every transpose's data movement for communication accounting.
+package einsum
+
+import (
+	"fmt"
+	"strings"
+
+	"gokoala/internal/tensor"
+)
+
+// Hooks observe the primitive operations a contraction decomposes into.
+// Either field may be nil.
+type Hooks struct {
+	// OnGEMM is called once per batched matrix multiply with the batch
+	// count and the m, n, k dimensions of each multiply in the batch.
+	OnGEMM func(batch, m, n, k int)
+	// OnMove is called with the element count of every materializing
+	// transpose (axis reordering that physically moves data).
+	OnMove func(elements int)
+	// GEMM, when non-nil, replaces the default batched matrix multiply.
+	// Operands have shapes [bt, m, k] and [bt, k, n]; the result must have
+	// shape [bt, m, n]. The simulated distributed backend routes the
+	// computation through its SPMD kernel this way.
+	GEMM func(a, b *tensor.Dense) *tensor.Dense
+}
+
+// Contract evaluates the einsum spec over the operands and returns the
+// resulting tensor.
+func Contract(spec string, ops ...*tensor.Dense) (*tensor.Dense, error) {
+	return ContractWithHooks(spec, ops, Hooks{})
+}
+
+// MustContract is Contract but panics on error; intended for specs that
+// are compile-time constants in library code.
+func MustContract(spec string, ops ...*tensor.Dense) *tensor.Dense {
+	out, err := Contract(spec, ops...)
+	if err != nil {
+		panic(fmt.Sprintf("einsum: %v", err))
+	}
+	return out
+}
+
+// ContractWithHooks evaluates the spec, reporting primitive operations to
+// the provided hooks.
+func ContractWithHooks(spec string, ops []*tensor.Dense, h Hooks) (*tensor.Dense, error) {
+	inputs, output, err := parseSpec(spec, len(ops))
+	if err != nil {
+		return nil, err
+	}
+	dims, err := resolveDims(inputs, ops)
+	if err != nil {
+		return nil, fmt.Errorf("einsum %q: %w", spec, err)
+	}
+	for i := 0; i < len(output); i++ {
+		if _, ok := dims[output[i]]; !ok {
+			return nil, fmt.Errorf("einsum %q: output letter %q not present in any input", spec, string(output[i]))
+		}
+	}
+
+	// Working set of (subscript, tensor) pairs.
+	type node struct {
+		subs string
+		t    *tensor.Dense
+	}
+	nodes := make([]node, len(ops))
+	for i := range ops {
+		nodes[i] = node{inputs[i], ops[i]}
+	}
+
+	// lettersNeeded reports the letters required by the output or by nodes
+	// other than i and j.
+	lettersNeeded := func(i, j int) map[byte]bool {
+		need := map[byte]bool{}
+		for _, c := range []byte(output) {
+			need[c] = true
+		}
+		for k, n := range nodes {
+			if k == i || k == j {
+				continue
+			}
+			for _, c := range []byte(n.subs) {
+				need[c] = true
+			}
+		}
+		return need
+	}
+
+	for len(nodes) > 1 {
+		// Greedy: pick the pair with the smallest estimated flop count
+		// (product of dims of the union of their subscripts).
+		bi, bj := 0, 1
+		best := -1.0
+		for i := 0; i < len(nodes); i++ {
+			for j := i + 1; j < len(nodes); j++ {
+				cost := 1.0
+				seen := map[byte]bool{}
+				for _, c := range []byte(nodes[i].subs + nodes[j].subs) {
+					if !seen[c] {
+						seen[c] = true
+						cost *= float64(dims[c])
+					}
+				}
+				if best < 0 || cost < best {
+					best, bi, bj = cost, i, j
+				}
+			}
+		}
+		need := lettersNeeded(bi, bj)
+		subs, t := contractPair(nodes[bi].subs, nodes[bi].t, nodes[bj].subs, nodes[bj].t, need, dims, h)
+		nodes[bi] = node{subs, t}
+		nodes = append(nodes[:bj], nodes[bj+1:]...)
+	}
+
+	res := nodes[0]
+	// Sum out any letters not in the output, then permute to output order.
+	res.subs, res.t = sumOut(res.subs, res.t, letterSet(output), h)
+	if res.subs == output {
+		// An identity spec can pass the input tensor straight through;
+		// clone so the result never aliases caller-owned data.
+		for _, op := range ops {
+			if res.t == op {
+				return res.t.Clone(), nil
+			}
+		}
+		return res.t, nil
+	}
+	perm := make([]int, len(output))
+	for i := 0; i < len(output); i++ {
+		p := strings.IndexByte(res.subs, output[i])
+		if p < 0 {
+			return nil, fmt.Errorf("einsum %q: internal error, letter %q lost", spec, string(output[i]))
+		}
+		perm[i] = p
+	}
+	return maybeTranspose(res.t, perm, h), nil
+}
+
+// parseSpec splits "ab,bc->ac" into input subscripts and the output
+// subscript, validating letter syntax.
+func parseSpec(spec string, nops int) ([]string, string, error) {
+	parts := strings.Split(spec, "->")
+	if len(parts) != 2 {
+		return nil, "", fmt.Errorf("einsum %q: spec must contain exactly one \"->\"", spec)
+	}
+	inputs := strings.Split(parts[0], ",")
+	output := strings.TrimSpace(parts[1])
+	if len(inputs) != nops {
+		return nil, "", fmt.Errorf("einsum %q: %d subscripts but %d operands", spec, len(inputs), nops)
+	}
+	check := func(s string) error {
+		seen := map[byte]bool{}
+		for i := 0; i < len(s); i++ {
+			c := s[i]
+			if !(c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z') {
+				return fmt.Errorf("einsum %q: invalid subscript letter %q", spec, string(c))
+			}
+			if seen[c] {
+				return fmt.Errorf("einsum %q: repeated letter %q within one subscript is not supported", spec, string(c))
+			}
+			seen[c] = true
+		}
+		return nil
+	}
+	for i := range inputs {
+		inputs[i] = strings.TrimSpace(inputs[i])
+		if err := check(inputs[i]); err != nil {
+			return nil, "", err
+		}
+	}
+	if err := check(output); err != nil {
+		return nil, "", err
+	}
+	return inputs, output, nil
+}
+
+// resolveDims maps each letter to its dimension, checking consistency.
+func resolveDims(inputs []string, ops []*tensor.Dense) (map[byte]int, error) {
+	dims := map[byte]int{}
+	for i, subs := range inputs {
+		if len(subs) != ops[i].Rank() {
+			return nil, fmt.Errorf("operand %d has rank %d but subscript %q has %d letters", i, ops[i].Rank(), subs, len(subs))
+		}
+		for j := 0; j < len(subs); j++ {
+			c := subs[j]
+			d := ops[i].Dim(j)
+			if prev, ok := dims[c]; ok && prev != d {
+				return nil, fmt.Errorf("letter %q has conflicting dimensions %d and %d", string(c), prev, d)
+			}
+			dims[c] = d
+		}
+	}
+	return dims, nil
+}
+
+func letterSet(s string) map[byte]bool {
+	m := make(map[byte]bool, len(s))
+	for i := 0; i < len(s); i++ {
+		m[s[i]] = true
+	}
+	return m
+}
+
+// sumOut reduces axes whose letters are not in keep, returning the new
+// subscript and tensor.
+func sumOut(subs string, t *tensor.Dense, keep map[byte]bool, h Hooks) (string, *tensor.Dense) {
+	var keptSubs, dropSubs []byte
+	var keptAxes, dropAxes []int
+	for i := 0; i < len(subs); i++ {
+		if keep[subs[i]] {
+			keptSubs = append(keptSubs, subs[i])
+			keptAxes = append(keptAxes, i)
+		} else {
+			dropSubs = append(dropSubs, subs[i])
+			dropAxes = append(dropAxes, i)
+		}
+	}
+	if len(dropAxes) == 0 {
+		return subs, t
+	}
+	perm := append(append([]int{}, keptAxes...), dropAxes...)
+	tt := maybeTranspose(t, perm, h)
+	keptN, dropN := 1, 1
+	for _, a := range keptAxes {
+		keptN *= t.Dim(a)
+	}
+	for _, a := range dropAxes {
+		dropN *= t.Dim(a)
+	}
+	m := tt.Reshape(keptN, dropN)
+	outShape := make([]int, len(keptAxes))
+	for i, a := range keptAxes {
+		outShape[i] = t.Dim(a)
+	}
+	if len(outShape) == 0 {
+		outShape = []int{}
+	}
+	out := tensor.New(append([]int{}, outShape...)...)
+	data, src := out.Data(), m.Data()
+	tensor.AddFlops(int64(keptN) * int64(dropN))
+	for i := 0; i < keptN; i++ {
+		var s complex128
+		row := src[i*dropN : (i+1)*dropN]
+		for _, v := range row {
+			s += v
+		}
+		data[i] = s
+	}
+	return string(keptSubs), out
+}
+
+// maybeTranspose permutes t's axes. Accounting follows a 1-D row-block
+// distribution over the leading axis: a permutation that keeps axis 0 in
+// place only rearranges data within each rank's local block (no
+// redistribution), while a permutation that moves axis 0 relocates every
+// element across ranks and is reported to OnMove. Identity permutations
+// skip the data movement entirely.
+func maybeTranspose(t *tensor.Dense, perm []int, h Hooks) *tensor.Dense {
+	identity := true
+	for i, p := range perm {
+		if p != i {
+			identity = false
+			break
+		}
+	}
+	if identity {
+		return t
+	}
+	if h.OnMove != nil && len(perm) > 0 && perm[0] != 0 {
+		h.OnMove(t.Size())
+	}
+	return t.Transpose(perm...)
+}
+
+// contractPair contracts two tensors over their shared letters that are
+// not needed elsewhere, producing subscript batch+freeA+freeB.
+func contractPair(sa string, a *tensor.Dense, sb string, b *tensor.Dense, need map[byte]bool, dims map[byte]int, h Hooks) (string, *tensor.Dense) {
+	inB := letterSet(sb)
+	inA := letterSet(sa)
+	// Letters private to one operand and not needed later are summed first.
+	keepA := map[byte]bool{}
+	for c := range need {
+		keepA[c] = true
+	}
+	for c := range inB {
+		keepA[c] = true
+	}
+	sa, a = sumOut(sa, a, keepA, h)
+	keepB := map[byte]bool{}
+	for c := range need {
+		keepB[c] = true
+	}
+	for c := range inA {
+		keepB[c] = true
+	}
+	sb, b = sumOut(sb, b, keepB, h)
+	inA, inB = letterSet(sa), letterSet(sb)
+
+	var batch, con, freeA, freeB []byte
+	for i := 0; i < len(sa); i++ {
+		c := sa[i]
+		switch {
+		case inB[c] && need[c]:
+			batch = append(batch, c)
+		case inB[c]:
+			con = append(con, c)
+		default:
+			freeA = append(freeA, c)
+		}
+	}
+	for i := 0; i < len(sb); i++ {
+		c := sb[i]
+		if !inA[c] {
+			freeB = append(freeB, c)
+		}
+	}
+
+	axisOf := func(subs string, c byte) int { return strings.IndexByte(subs, c) }
+	permFor := func(subs string, groups ...[]byte) []int {
+		var perm []int
+		for _, g := range groups {
+			for _, c := range g {
+				perm = append(perm, axisOf(subs, c))
+			}
+		}
+		return perm
+	}
+	prod := func(g []byte) int {
+		p := 1
+		for _, c := range g {
+			p *= dims[c]
+		}
+		return p
+	}
+
+	at := maybeTranspose(a, permFor(sa, batch, freeA, con), h).Reshape(prod(batch), prod(freeA), prod(con))
+	bt := maybeTranspose(b, permFor(sb, batch, con, freeB), h).Reshape(prod(batch), prod(con), prod(freeB))
+	if h.OnGEMM != nil {
+		h.OnGEMM(prod(batch), prod(freeA), prod(freeB), prod(con))
+	}
+	var ct *tensor.Dense
+	if h.GEMM != nil {
+		ct = h.GEMM(at, bt)
+	} else {
+		ct = tensor.BatchMatMul(at, bt)
+	}
+
+	outSubs := string(batch) + string(freeA) + string(freeB)
+	outShape := make([]int, 0, len(outSubs))
+	for i := 0; i < len(outSubs); i++ {
+		outShape = append(outShape, dims[outSubs[i]])
+	}
+	return outSubs, ct.Reshape(outShape...)
+}

@@ -1,0 +1,250 @@
+package einsum
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"gokoala/internal/tensor"
+)
+
+// naiveEinsum evaluates a spec by brute-force loops over every letter's
+// index range. It is exponentially slow but obviously correct, serving as
+// the oracle for the production implementation.
+func naiveEinsum(t *testing.T, spec string, ops ...*tensor.Dense) *tensor.Dense {
+	t.Helper()
+	parts := strings.Split(spec, "->")
+	inputs := strings.Split(parts[0], ",")
+	output := parts[1]
+	dims := map[byte]int{}
+	var letters []byte
+	for i, subs := range inputs {
+		for j := 0; j < len(subs); j++ {
+			if _, ok := dims[subs[j]]; !ok {
+				letters = append(letters, subs[j])
+			}
+			dims[subs[j]] = ops[i].Dim(j)
+		}
+	}
+	outShape := make([]int, len(output))
+	for i := 0; i < len(output); i++ {
+		outShape[i] = dims[output[i]]
+	}
+	out := tensor.New(append([]int{}, outShape...)...)
+	idx := map[byte]int{}
+	var rec func(k int)
+	rec = func(k int) {
+		if k == len(letters) {
+			term := complex128(1)
+			for i, subs := range inputs {
+				ix := make([]int, len(subs))
+				for j := 0; j < len(subs); j++ {
+					ix[j] = idx[subs[j]]
+				}
+				term *= ops[i].At(ix...)
+			}
+			ox := make([]int, len(output))
+			for j := 0; j < len(output); j++ {
+				ox[j] = idx[output[j]]
+			}
+			out.Set(out.At(ox...)+term, ox...)
+			return
+		}
+		for v := 0; v < dims[letters[k]]; v++ {
+			idx[letters[k]] = v
+			rec(k + 1)
+		}
+	}
+	rec(0)
+	return out
+}
+
+func checkAgainstNaive(t *testing.T, spec string, ops ...*tensor.Dense) {
+	t.Helper()
+	got, err := Contract(spec, ops...)
+	if err != nil {
+		t.Fatalf("Contract(%q): %v", spec, err)
+	}
+	want := naiveEinsum(t, spec, ops...)
+	if !tensor.SameShape(got.Shape(), want.Shape()) {
+		t.Fatalf("Contract(%q) shape %v, want %v", spec, got.Shape(), want.Shape())
+	}
+	if !tensor.AllClose(got, want, 1e-10, 1e-10) {
+		t.Fatalf("Contract(%q) disagrees with naive oracle", spec)
+	}
+}
+
+func TestMatrixMultiply(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	a := tensor.Rand(rng, 3, 4)
+	b := tensor.Rand(rng, 4, 5)
+	checkAgainstNaive(t, "ij,jk->ik", a, b)
+}
+
+func TestTransposeOnly(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	a := tensor.Rand(rng, 3, 4, 2)
+	checkAgainstNaive(t, "ijk->kji", a)
+}
+
+func TestTraceLikeSum(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	a := tensor.Rand(rng, 3, 4)
+	checkAgainstNaive(t, "ij->i", a)
+	checkAgainstNaive(t, "ij->j", a)
+	checkAgainstNaive(t, "ij->", a)
+}
+
+func TestInnerProduct(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	a := tensor.Rand(rng, 6)
+	b := tensor.Rand(rng, 6)
+	checkAgainstNaive(t, "i,i->", a, b)
+}
+
+func TestOuterProduct(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	a := tensor.Rand(rng, 3)
+	b := tensor.Rand(rng, 4)
+	checkAgainstNaive(t, "i,j->ij", a, b)
+}
+
+func TestBatchedContraction(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	a := tensor.Rand(rng, 2, 3, 4)
+	b := tensor.Rand(rng, 2, 4, 5)
+	checkAgainstNaive(t, "bij,bjk->bik", a, b)
+}
+
+func TestThreeOperandChain(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	a := tensor.Rand(rng, 3, 4)
+	b := tensor.Rand(rng, 4, 5)
+	c := tensor.Rand(rng, 5, 2)
+	checkAgainstNaive(t, "ij,jk,kl->il", a, b, c)
+}
+
+func TestFiveOperandNetwork(t *testing.T) {
+	// The 5-site refactorization network shape from paper Figure 2(a).
+	rng := rand.New(rand.NewSource(8))
+	a := tensor.Rand(rng, 2, 3)
+	b := tensor.Rand(rng, 3, 2, 4)
+	c := tensor.Rand(rng, 4, 3)
+	d := tensor.Rand(rng, 2, 2)
+	e := tensor.Rand(rng, 3, 2)
+	checkAgainstNaive(t, "ab,bcd,de,cf,eg->afg", a, b, c, d, e)
+}
+
+func TestTwoSiteGateApplication(t *testing.T) {
+	// Paper equation (4): gate applied to two neighboring PEPS sites.
+	rng := rand.New(rand.NewSource(9))
+	g := tensor.Rand(rng, 2, 2, 2, 2)
+	m1 := tensor.Rand(rng, 2, 3, 3, 3, 3)
+	m2 := tensor.Rand(rng, 2, 3, 3, 3, 3)
+	checkAgainstNaive(t, "xyuv,uabcd,vdefg->xabcyefg", g, m1, m2)
+}
+
+func TestPrivateIndexSummedOut(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	a := tensor.Rand(rng, 3, 4, 2)
+	b := tensor.Rand(rng, 3, 5)
+	// letter k appears only in a and not in output: summed out.
+	checkAgainstNaive(t, "ijk,im->jm", a, b)
+}
+
+func TestScalarOperand(t *testing.T) {
+	a := tensor.Scalar(2)
+	b := tensor.FromData([]complex128{1, 2, 3}, 3)
+	got, err := Contract(",i->i", a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.At(1) != 4 {
+		t.Fatalf("scalar scale failed: %v", got)
+	}
+}
+
+func TestHooksObserveGEMM(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	a := tensor.Rand(rng, 4, 3) // subscript "ji": requires a transpose
+	b := tensor.Rand(rng, 4, 5)
+	var gemms int
+	var moved int
+	_, err := ContractWithHooks("ji,jk->ik", []*tensor.Dense{a, b}, Hooks{
+		OnGEMM: func(batch, m, n, k int) {
+			gemms++
+			if batch != 1 || m != 3 || n != 5 || k != 4 {
+				t.Errorf("unexpected GEMM dims %d,%d,%d,%d", batch, m, n, k)
+			}
+		},
+		OnMove: func(elements int) { moved += elements },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gemms != 1 {
+		t.Fatalf("gemms = %d, want 1", gemms)
+	}
+	if moved == 0 {
+		t.Fatal("expected transpose movement to be reported")
+	}
+}
+
+func TestErrorCases(t *testing.T) {
+	a := tensor.New(2, 3)
+	cases := []struct {
+		spec string
+		ops  []*tensor.Dense
+	}{
+		{"ij", []*tensor.Dense{a}},                        // missing ->
+		{"ij,jk->ik", []*tensor.Dense{a}},                 // operand count
+		{"i->i", []*tensor.Dense{a}},                      // rank mismatch
+		{"ii->", []*tensor.Dense{tensor.New(2, 2)}},       // repeated letter
+		{"ij->ik", []*tensor.Dense{a}},                    // unknown output letter
+		{"1j->j", []*tensor.Dense{a}},                     // bad letter
+		{"ij,ji->", []*tensor.Dense{a, tensor.New(2, 2)}}, // dim conflict
+		{"ij->ji->ij", []*tensor.Dense{a}},                // two arrows
+	}
+	for _, c := range cases {
+		if _, err := Contract(c.spec, c.ops...); err == nil {
+			t.Errorf("Contract(%q) succeeded, want error", c.spec)
+		}
+	}
+}
+
+func TestRandomizedSpecsAgainstNaive(t *testing.T) {
+	// Property-style fuzz: random small networks checked against the oracle.
+	rng := rand.New(rand.NewSource(12))
+	letters := "abcdefg"
+	for trial := 0; trial < 40; trial++ {
+		nops := 1 + rng.Intn(3)
+		dims := map[byte]int{}
+		for i := 0; i < len(letters); i++ {
+			dims[letters[i]] = 1 + rng.Intn(3)
+		}
+		var inputs []string
+		var ops []*tensor.Dense
+		used := map[byte]bool{}
+		for i := 0; i < nops; i++ {
+			r := 1 + rng.Intn(3)
+			perm := rng.Perm(len(letters))[:r]
+			subs := make([]byte, r)
+			shape := make([]int, r)
+			for j, p := range perm {
+				subs[j] = letters[p]
+				shape[j] = dims[letters[p]]
+				used[letters[p]] = true
+			}
+			inputs = append(inputs, string(subs))
+			ops = append(ops, tensor.Rand(rng, shape...))
+		}
+		var outLetters []byte
+		for c := range used {
+			if rng.Intn(2) == 0 {
+				outLetters = append(outLetters, c)
+			}
+		}
+		spec := strings.Join(inputs, ",") + "->" + string(outLetters)
+		checkAgainstNaive(t, spec, ops...)
+	}
+}

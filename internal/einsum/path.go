@@ -1,0 +1,337 @@
+package einsum
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"gokoala/internal/tensor"
+)
+
+// A Path is a contraction order: each step names two current node
+// indices to contract; the result replaces the lower index and the
+// higher index is removed (numpy.einsum_path convention, normalized so
+// step pairs are (low, high)).
+type Path [][2]int
+
+// maxOptimalOperands bounds the exhaustive planner; the subset DP visits
+// 3^n states, which stays under ~5M up to n = 14.
+const maxOptimalOperands = 14
+
+// PlanGreedy returns the pair order chosen by the greedy minimum-flops
+// heuristic the engine uses by default.
+func PlanGreedy(inputs []string, dims map[byte]int, output string) Path {
+	type node struct {
+		subs string
+		id   int
+	}
+	nodes := make([]node, len(inputs))
+	for i, s := range inputs {
+		nodes[i] = node{s, i}
+	}
+	var path Path
+	for len(nodes) > 1 {
+		bi, bj := 0, 1
+		best := math.Inf(1)
+		for i := 0; i < len(nodes); i++ {
+			for j := i + 1; j < len(nodes); j++ {
+				cost := 1.0
+				seen := map[byte]bool{}
+				for _, c := range []byte(nodes[i].subs + nodes[j].subs) {
+					if !seen[c] {
+						seen[c] = true
+						cost *= float64(dims[c])
+					}
+				}
+				if cost < best {
+					best, bi, bj = cost, i, j
+				}
+			}
+		}
+		// Result subscript: letters still needed by the output or other nodes.
+		need := map[byte]bool{}
+		for _, c := range []byte(output) {
+			need[c] = true
+		}
+		for k, n := range nodes {
+			if k == bi || k == bj {
+				continue
+			}
+			for _, c := range []byte(n.subs) {
+				need[c] = true
+			}
+		}
+		merged := mergedSubs(nodes[bi].subs, nodes[bj].subs, need)
+		path = append(path, [2]int{bi, bj})
+		nodes[bi] = node{merged, nodes[bi].id}
+		nodes = append(nodes[:bj], nodes[bj+1:]...)
+	}
+	return path
+}
+
+// mergedSubs returns the subscript of contracting two nodes: the letters
+// of either operand that remain needed, in first-appearance order.
+func mergedSubs(a, b string, need map[byte]bool) string {
+	var out []byte
+	seen := map[byte]bool{}
+	for _, c := range []byte(a + b) {
+		if need[c] && !seen[c] {
+			seen[c] = true
+			out = append(out, c)
+		}
+	}
+	return string(out)
+}
+
+// PlanOptimal returns a flop-optimal contraction order computed by
+// dynamic programming over operand subsets (the classical O(3^n)
+// algorithm). It falls back to PlanGreedy beyond maxOptimalOperands.
+// The flop model for contracting two groups is the product of the
+// dimensions of the union of their letters — the same model the greedy
+// planner uses, so the two are directly comparable.
+func PlanOptimal(inputs []string, dims map[byte]int, output string) Path {
+	n := len(inputs)
+	if n > maxOptimalOperands {
+		return PlanGreedy(inputs, dims, output)
+	}
+	if n <= 1 {
+		return nil
+	}
+	full := (1 << n) - 1
+
+	// outside[i] = letters appearing in operands other than i or in the
+	// output; a subset's result keeps exactly the letters needed outside.
+	letterUsers := map[byte]int{} // letter -> bitmask of operands using it
+	for i, s := range inputs {
+		for _, c := range []byte(s) {
+			letterUsers[c] |= 1 << i
+		}
+	}
+	outLetters := letterSet(output)
+
+	subsOf := make([]string, full+1)
+	for i := 0; i < n; i++ {
+		subsOf[1<<i] = inputs[i]
+	}
+	// resultSubs computes the subscript a subset's contraction keeps.
+	resultSubs := func(set int) string {
+		var out []byte
+		seen := map[byte]bool{}
+		for i := 0; i < n; i++ {
+			if set&(1<<i) == 0 {
+				continue
+			}
+			for _, c := range []byte(inputs[i]) {
+				if seen[c] {
+					continue
+				}
+				seen[c] = true
+				if outLetters[c] || letterUsers[c]&^set != 0 {
+					out = append(out, c)
+				}
+			}
+		}
+		return string(out)
+	}
+
+	cost := make([]float64, full+1)
+	split := make([]int, full+1)
+	for set := 1; set <= full; set++ {
+		if set&(set-1) == 0 { // singleton
+			cost[set] = 0
+			subsOf[set] = inputs[trailingBit(set)]
+			continue
+		}
+		cost[set] = math.Inf(1)
+		subsOf[set] = resultSubs(set)
+		// Enumerate proper sub-subsets; canonical form keeps the lowest
+		// set bit on the left side to halve the enumeration.
+		low := set & (-set)
+		rest := set &^ low
+		for sub := rest; sub > 0; sub = (sub - 1) & rest {
+			left := set &^ sub
+			right := sub
+			c := cost[left] + cost[right] + pairCost(subsOf[left], subsOf[right], dims)
+			if c < cost[set] {
+				cost[set] = c
+				split[set] = right
+			}
+		}
+	}
+
+	// Reconstruct the binary contraction tree, then linearize it into
+	// pairwise steps over a live node list (same convention as greedy).
+	type tree struct {
+		set         int
+		left, right *tree
+	}
+	var build func(set int) *tree
+	build = func(set int) *tree {
+		if set&(set-1) == 0 {
+			return &tree{set: set}
+		}
+		r := split[set]
+		return &tree{set: set, left: build(set &^ r), right: build(r)}
+	}
+	root := build(full)
+
+	// live maps node-list positions to subset ids.
+	live := make([]int, n)
+	for i := 0; i < n; i++ {
+		live[i] = 1 << i
+	}
+	var path Path
+	var emit func(t *tree)
+	emit = func(t *tree) {
+		if t.left == nil {
+			return
+		}
+		emit(t.left)
+		emit(t.right)
+		i := indexOf(live, t.left.set)
+		j := indexOf(live, t.right.set)
+		if i > j {
+			i, j = j, i
+		}
+		path = append(path, [2]int{i, j})
+		live[i] = t.set
+		live = append(live[:j], live[j+1:]...)
+	}
+	emit(root)
+	return path
+}
+
+func trailingBit(x int) int {
+	i := 0
+	for x&1 == 0 {
+		x >>= 1
+		i++
+	}
+	return i
+}
+
+func indexOf(xs []int, v int) int {
+	for i, x := range xs {
+		if x == v {
+			return i
+		}
+	}
+	panic("einsum: internal path reconstruction error")
+}
+
+// pairCost is the flop estimate for contracting two subscripts: the
+// product of the dimensions of their letter union.
+func pairCost(a, b string, dims map[byte]int) float64 {
+	cost := 1.0
+	seen := map[byte]bool{}
+	for _, c := range []byte(a + b) {
+		if !seen[c] {
+			seen[c] = true
+			cost *= float64(dims[c])
+		}
+	}
+	return cost
+}
+
+// PathCost evaluates a path's total flop estimate under the planner's
+// cost model, for comparing planners.
+func PathCost(inputs []string, dims map[byte]int, output string, path Path) float64 {
+	nodes := append([]string{}, inputs...)
+	total := 0.0
+	for _, step := range path {
+		i, j := step[0], step[1]
+		if i < 0 || j >= len(nodes) || i >= j {
+			panic(fmt.Sprintf("einsum: invalid path step %v over %d nodes", step, len(nodes)))
+		}
+		total += pairCost(nodes[i], nodes[j], dims)
+		need := map[byte]bool{}
+		for _, c := range []byte(output) {
+			need[c] = true
+		}
+		for k, s := range nodes {
+			if k == i || k == j {
+				continue
+			}
+			for _, c := range []byte(s) {
+				need[c] = true
+			}
+		}
+		nodes[i] = mergedSubs(nodes[i], nodes[j], need)
+		nodes = append(nodes[:j], nodes[j+1:]...)
+	}
+	return total
+}
+
+// ContractOptimal evaluates the spec like Contract but plans the
+// contraction order with the exhaustive subset DP instead of the greedy
+// heuristic. Worth it for deep reused networks; planning cost grows as
+// 3^operands.
+func ContractOptimal(spec string, ops ...*tensor.Dense) (*tensor.Dense, error) {
+	inputs, output, err := parseSpec(spec, len(ops))
+	if err != nil {
+		return nil, err
+	}
+	dims, err := resolveDims(inputs, ops)
+	if err != nil {
+		return nil, fmt.Errorf("einsum %q: %w", spec, err)
+	}
+	for i := 0; i < len(output); i++ {
+		if _, ok := dims[output[i]]; !ok {
+			return nil, fmt.Errorf("einsum %q: output letter %q not present in any input", spec, string(output[i]))
+		}
+	}
+	path := PlanOptimal(inputs, dims, output)
+	return contractAlongPath(spec, inputs, output, dims, ops, path, Hooks{})
+}
+
+// contractAlongPath executes a planned path with the pairwise kernel.
+func contractAlongPath(spec string, inputs []string, output string, dims map[byte]int, ops []*tensor.Dense, path Path, h Hooks) (*tensor.Dense, error) {
+	type node struct {
+		subs string
+		t    *tensor.Dense
+	}
+	nodes := make([]node, len(ops))
+	for i := range ops {
+		nodes[i] = node{inputs[i], ops[i]}
+	}
+	for _, step := range path {
+		i, j := step[0], step[1]
+		if i < 0 || j >= len(nodes) || i >= j {
+			return nil, fmt.Errorf("einsum %q: invalid path step %v", spec, step)
+		}
+		need := map[byte]bool{}
+		for _, c := range []byte(output) {
+			need[c] = true
+		}
+		for k, n := range nodes {
+			if k == i || k == j {
+				continue
+			}
+			for _, c := range []byte(n.subs) {
+				need[c] = true
+			}
+		}
+		subs, t := contractPair(nodes[i].subs, nodes[i].t, nodes[j].subs, nodes[j].t, need, dims, h)
+		nodes[i] = node{subs, t}
+		nodes = append(nodes[:j], nodes[j+1:]...)
+	}
+	res := nodes[0]
+	res.subs, res.t = sumOut(res.subs, res.t, letterSet(output), h)
+	if res.subs == output {
+		for _, op := range ops {
+			if res.t == op {
+				return res.t.Clone(), nil
+			}
+		}
+		return res.t, nil
+	}
+	perm := make([]int, len(output))
+	for i := 0; i < len(output); i++ {
+		p := strings.IndexByte(res.subs, output[i])
+		if p < 0 {
+			return nil, fmt.Errorf("einsum %q: internal error, letter %q lost", spec, string(output[i]))
+		}
+		perm[i] = p
+	}
+	return maybeTranspose(res.t, perm, h), nil
+}

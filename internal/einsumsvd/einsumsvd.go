@@ -1,0 +1,361 @@
+// Package einsumsvd implements the paper's central software abstraction:
+// contracting a tensor network into one tensor and refactorizing it into
+// two tensors joined by a single new (truncated) bond index
+// (paper section II-C, Figure 2).
+//
+// A spec extends einsum syntax with a split output:
+//
+//	"gbd,bpe,dqpf->gqx|xef"
+//
+// means: contract the three operands, then factor the result so the first
+// output tensor carries subscript "gqx" and the second "xef", where "x"
+// is the new bond shared by exactly the two outputs (it must not appear in
+// the inputs). Letters that appear in inputs but in neither output are
+// contracted/summed away as in plain einsum.
+//
+// Two strategies implement the abstraction:
+//
+//   - Explicit: contract fully, matricize, truncated SVD — the standard
+//     approach.
+//   - ImplicitRand: never form the contracted tensor; run randomized SVD
+//     (paper Algorithm 4) applying the uncontracted network as an implicit
+//     operator. This is what turns BMPS into IBMPS and gives the
+//     asymptotic savings of paper Table II.
+package einsumsvd
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"strings"
+
+	"gokoala/internal/backend"
+	"gokoala/internal/linalg"
+	"gokoala/internal/tensor"
+)
+
+// SigmaMode controls where the singular values go.
+type SigmaMode int
+
+const (
+	// SigmaRight multiplies diag(s) into the second factor (zip-up
+	// convention: the first factor is an isometry).
+	SigmaRight SigmaMode = iota
+	// SigmaLeft multiplies diag(s) into the first factor.
+	SigmaLeft
+	// SigmaBoth splits diag(sqrt(s)) into each factor (simple-update
+	// convention, keeping the two site tensors balanced).
+	SigmaBoth
+	// SigmaNone attaches the singular values to neither factor: the first
+	// factor is the isometry U and the second is V*; callers use the
+	// returned singular values themselves (weighted simple update keeps
+	// them as bond weights).
+	SigmaNone
+)
+
+// Strategy factors a contracted network into two tensors.
+type Strategy interface {
+	// Name identifies the strategy in benchmark output.
+	Name() string
+	// Factor evaluates the split spec over the operands with the given
+	// truncation rank. It returns the two factors (shaped per the output
+	// subscripts) and the retained singular values.
+	Factor(eng backend.Engine, spec string, rank int, ops ...*tensor.Dense) (a, b *tensor.Dense, s []float64, err error)
+}
+
+// Explicit contracts the network and computes a truncated SVD.
+type Explicit struct {
+	Mode SigmaMode
+}
+
+func (e Explicit) Name() string { return "explicit-svd" }
+
+// ImplicitRand applies the network as an implicit operator inside
+// randomized SVD (paper Algorithm 4).
+type ImplicitRand struct {
+	Mode SigmaMode
+	// NIter is the number of orthogonal-iteration rounds (default 1).
+	NIter int
+	// Oversample adds sketch columns truncated away at the end (default 4).
+	Oversample int
+	// Rng supplies the sketch; required.
+	Rng *rand.Rand
+}
+
+func (ImplicitRand) Name() string { return "implicit-rsvd" }
+
+// MustFactor is a panic-on-error convenience for specs that are constants
+// in library code.
+func MustFactor(st Strategy, eng backend.Engine, spec string, rank int, ops ...*tensor.Dense) (*tensor.Dense, *tensor.Dense, []float64) {
+	a, b, s, err := st.Factor(eng, spec, rank, ops...)
+	if err != nil {
+		panic("einsumsvd: " + err.Error())
+	}
+	return a, b, s
+}
+
+// splitSpec holds the parsed form of a split spec.
+type splitSpec struct {
+	inputs     string // comma-joined input subscripts
+	out1, out2 string // output subscripts including the new letter
+	newLetter  byte
+	row, col   string // out1/out2 with the new letter removed
+	rowDims    []int
+	colDims    []int
+	rowSize    int
+	colSize    int
+	dims       map[byte]int
+	free       byte // an unused letter for block-vector columns
+}
+
+func parse(spec string, ops []*tensor.Dense) (*splitSpec, error) {
+	arrow := strings.Index(spec, "->")
+	if arrow < 0 {
+		return nil, fmt.Errorf("spec %q missing \"->\"", spec)
+	}
+	inputs := spec[:arrow]
+	outs := strings.Split(spec[arrow+2:], "|")
+	if len(outs) != 2 {
+		return nil, fmt.Errorf("spec %q must have exactly two outputs separated by |", spec)
+	}
+	out1, out2 := strings.TrimSpace(outs[0]), strings.TrimSpace(outs[1])
+
+	inLetters := map[byte]bool{}
+	subsList := strings.Split(inputs, ",")
+	if len(subsList) != len(ops) {
+		return nil, fmt.Errorf("spec %q has %d inputs but %d operands", spec, len(subsList), len(ops))
+	}
+	dims := map[byte]int{}
+	for i, subs := range subsList {
+		subs = strings.TrimSpace(subs)
+		if len(subs) != ops[i].Rank() {
+			return nil, fmt.Errorf("operand %d rank %d does not match subscript %q", i, ops[i].Rank(), subs)
+		}
+		for j := 0; j < len(subs); j++ {
+			c := subs[j]
+			inLetters[c] = true
+			d := ops[i].Dim(j)
+			if prev, ok := dims[c]; ok && prev != d {
+				return nil, fmt.Errorf("letter %q has conflicting dimensions %d and %d", string(c), prev, d)
+			}
+			dims[c] = d
+		}
+	}
+
+	// Identify the new letter: in both outputs, not in inputs.
+	var newLetter byte
+	set1 := map[byte]bool{}
+	for i := 0; i < len(out1); i++ {
+		set1[out1[i]] = true
+	}
+	for i := 0; i < len(out2); i++ {
+		c := out2[i]
+		if set1[c] {
+			if inLetters[c] {
+				return nil, fmt.Errorf("shared output letter %q also appears in inputs", string(c))
+			}
+			if newLetter != 0 {
+				return nil, fmt.Errorf("outputs share more than one new letter")
+			}
+			newLetter = c
+		}
+	}
+	if newLetter == 0 {
+		return nil, fmt.Errorf("outputs %q and %q share no new letter", out1, out2)
+	}
+	strip := func(s string) string {
+		return strings.ReplaceAll(s, string(newLetter), "")
+	}
+	row, col := strip(out1), strip(out2)
+	for i := 0; i < len(row); i++ {
+		if !inLetters[row[i]] {
+			return nil, fmt.Errorf("output letter %q not found in inputs", string(row[i]))
+		}
+	}
+	for i := 0; i < len(col); i++ {
+		if !inLetters[col[i]] {
+			return nil, fmt.Errorf("output letter %q not found in inputs", string(col[i]))
+		}
+	}
+
+	p := &splitSpec{inputs: inputs, out1: out1, out2: out2, newLetter: newLetter, row: row, col: col, dims: dims}
+	p.rowSize, p.colSize = 1, 1
+	for i := 0; i < len(row); i++ {
+		d := dims[row[i]]
+		p.rowDims = append(p.rowDims, d)
+		p.rowSize *= d
+	}
+	for i := 0; i < len(col); i++ {
+		d := dims[col[i]]
+		p.colDims = append(p.colDims, d)
+		p.colSize *= d
+	}
+	// Find a free letter for the block-vector column index.
+	used := map[byte]bool{newLetter: true}
+	for c := range inLetters {
+		used[c] = true
+	}
+	for _, c := range []byte("zyxwvutsrqponmlkjihgfedcbaZYXWVUTSRQPONMLKJIHGFEDCBA") {
+		if !used[c] {
+			p.free = c
+			break
+		}
+	}
+	if p.free == 0 {
+		return nil, fmt.Errorf("no free subscript letter available")
+	}
+	return p, nil
+}
+
+// assemble folds the U factor (rowSize x k) and the sigma-carrying V
+// factor into tensors shaped per out1/out2, applying the sigma mode.
+func (p *splitSpec) assemble(eng backend.Engine, u *tensor.Dense, s []float64, v *tensor.Dense, mode SigmaMode) (*tensor.Dense, *tensor.Dense) {
+	k := len(s)
+	var uScale, vScale []float64
+	switch mode {
+	case SigmaRight:
+		uScale, vScale = ones(k), s
+	case SigmaLeft:
+		uScale, vScale = s, ones(k)
+	case SigmaNone:
+		uScale, vScale = ones(k), ones(k)
+	case SigmaBoth:
+		uScale, vScale = make([]float64, k), make([]float64, k)
+		for i, x := range s {
+			r := math.Sqrt(x)
+			uScale[i], vScale[i] = r, r
+		}
+	}
+	// A0[row..., k] = U * diag(uScale)
+	a0 := u.Clone()
+	ad := a0.Data()
+	for i := 0; i < p.rowSize; i++ {
+		for j := 0; j < k; j++ {
+			ad[i*k+j] *= complex(uScale[j], 0)
+		}
+	}
+	// B0[k, col...] = diag(vScale) * V^H
+	b0 := tensor.New(k, p.colSize)
+	bd := b0.Data()
+	vd := v.Data()
+	for j := 0; j < k; j++ {
+		sc := complex(vScale[j], 0)
+		for i := 0; i < p.colSize; i++ {
+			x := vd[i*k+j]
+			bd[j*p.colSize+i] = sc * complex(real(x), -imag(x))
+		}
+	}
+	aShape := append(append([]int{}, p.rowDims...), k)
+	bShape := append([]int{k}, p.colDims...)
+	a := a0.Reshape(aShape...)
+	b := b0.Reshape(bShape...)
+	// Permute to the requested output orders.
+	a = permuteTo(a, p.row+string(p.newLetter), p.out1)
+	b = permuteTo(b, string(p.newLetter)+p.col, p.out2)
+	return a, b
+}
+
+func ones(k int) []float64 {
+	o := make([]float64, k)
+	for i := range o {
+		o[i] = 1
+	}
+	return o
+}
+
+// permuteTo transposes t (whose axes are labeled by from) into the axis
+// order given by to.
+func permuteTo(t *tensor.Dense, from, to string) *tensor.Dense {
+	if from == to {
+		return t
+	}
+	perm := make([]int, len(to))
+	for i := 0; i < len(to); i++ {
+		p := strings.IndexByte(from, to[i])
+		if p < 0 {
+			panic(fmt.Sprintf("einsumsvd: internal label mismatch %q vs %q", from, to))
+		}
+		perm[i] = p
+	}
+	return t.Transpose(perm...)
+}
+
+// Factor implements Strategy for the explicit contract-then-SVD path.
+func (e Explicit) Factor(eng backend.Engine, spec string, rank int, ops ...*tensor.Dense) (*tensor.Dense, *tensor.Dense, []float64, error) {
+	p, err := parse(spec, ops)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	full := eng.Einsum(p.inputs+"->"+p.row+p.col, ops...)
+	u, s, v := eng.TruncSVD(full.Reshape(p.rowSize, p.colSize), rank)
+	a, b := p.assemble(eng, u, s, v, e.Mode)
+	return a, b, s, nil
+}
+
+// networkOperator applies the uncontracted network as a linear operator
+// from the col index group to the row index group.
+type networkOperator struct {
+	eng                backend.Engine
+	p                  *splitSpec
+	ops                []*tensor.Dense
+	conjOps            []*tensor.Dense
+	applySpec, adjSpec string
+}
+
+func newNetworkOperator(eng backend.Engine, p *splitSpec, ops []*tensor.Dense) *networkOperator {
+	conj := make([]*tensor.Dense, len(ops))
+	for i, o := range ops {
+		conj[i] = o.Conj()
+	}
+	z := string(p.free)
+	return &networkOperator{
+		eng:       eng,
+		p:         p,
+		ops:       ops,
+		conjOps:   conj,
+		applySpec: p.inputs + "," + p.col + z + "->" + p.row + z,
+		adjSpec:   p.inputs + "," + p.row + z + "->" + p.col + z,
+	}
+}
+
+func (o *networkOperator) Rows() int { return o.p.rowSize }
+func (o *networkOperator) Cols() int { return o.p.colSize }
+
+func (o *networkOperator) Apply(q *tensor.Dense) *tensor.Dense {
+	r := q.Dim(1)
+	qt := q.Reshape(append(append([]int{}, o.p.colDims...), r)...)
+	out := o.eng.Einsum(o.applySpec, append(append([]*tensor.Dense{}, o.ops...), qt)...)
+	return out.Reshape(o.p.rowSize, r)
+}
+
+func (o *networkOperator) ApplyAdjoint(pv *tensor.Dense) *tensor.Dense {
+	r := pv.Dim(1)
+	pt := pv.Reshape(append(append([]int{}, o.p.rowDims...), r)...)
+	out := o.eng.Einsum(o.adjSpec, append(append([]*tensor.Dense{}, o.conjOps...), pt)...)
+	return out.Reshape(o.p.colSize, r)
+}
+
+var _ linalg.Operator = (*networkOperator)(nil)
+
+// Factor implements Strategy for the implicit randomized-SVD path.
+func (ir ImplicitRand) Factor(eng backend.Engine, spec string, rank int, ops ...*tensor.Dense) (*tensor.Dense, *tensor.Dense, []float64, error) {
+	if ir.Rng == nil {
+		return nil, nil, nil, fmt.Errorf("ImplicitRand requires a Rng")
+	}
+	p, err := parse(spec, ops)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	nIter := ir.NIter
+	if nIter == 0 {
+		nIter = 1
+	}
+	oversample := ir.Oversample
+	if oversample == 0 {
+		oversample = 4
+	}
+	op := newNetworkOperator(eng, p, ops)
+	u, s, v := backend.RandSVD(eng, op, rank, nIter, oversample, ir.Rng)
+	a, b := p.assemble(eng, u, s, v, ir.Mode)
+	return a, b, s, nil
+}

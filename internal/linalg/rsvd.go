@@ -1,0 +1,108 @@
+package linalg
+
+import (
+	"fmt"
+	"math/rand"
+
+	"gokoala/internal/tensor"
+)
+
+// Operator is a linear map C^n -> C^m given only through its action on
+// block vectors. It is the "implicit matrix" of the paper's Algorithm 4:
+// tensor networks implement it by contracting the block vector into the
+// network instead of ever forming the matrix.
+type Operator interface {
+	// Rows returns m, the (flattened) output dimension.
+	Rows() int
+	// Cols returns n, the (flattened) input dimension.
+	Cols() int
+	// Apply returns A @ q for q of shape [n, r]; result shape [m, r].
+	Apply(q *tensor.Dense) *tensor.Dense
+	// ApplyAdjoint returns A* @ p for p of shape [m, r]; result [n, r].
+	ApplyAdjoint(p *tensor.Dense) *tensor.Dense
+}
+
+// MatrixOperator adapts an explicit matrix to the Operator interface,
+// used for testing and for the explicit einsumsvd path.
+type MatrixOperator struct{ M *tensor.Dense }
+
+func (o MatrixOperator) Rows() int { return o.M.Dim(0) }
+func (o MatrixOperator) Cols() int { return o.M.Dim(1) }
+func (o MatrixOperator) Apply(q *tensor.Dense) *tensor.Dense {
+	return tensor.MatMul(o.M, q)
+}
+func (o MatrixOperator) ApplyAdjoint(p *tensor.Dense) *tensor.Dense {
+	return tensor.MatMul(o.M.Conj().Transpose(1, 0), p)
+}
+
+// OrthFunc orthonormalizes the columns of an m-by-r block vector,
+// returning a matrix with the same span and orthonormal columns. The two
+// implementations are QR (OrthQR) and the reshape-avoiding Gram-matrix
+// method of paper Algorithm 5 (OrthGram).
+type OrthFunc func(x *tensor.Dense) *tensor.Dense
+
+// OrthQR orthonormalizes via Householder QR.
+func OrthQR(x *tensor.Dense) *tensor.Dense {
+	q, _ := QR(x)
+	return q
+}
+
+// OrthGram orthonormalizes via the Gram-matrix eigendecomposition of
+// Algorithm 5 (see gram.go).
+func OrthGram(x *tensor.Dense) *tensor.Dense {
+	q, _ := GramOrth(x)
+	return q
+}
+
+// RandSVDOptions configures RandSVD.
+type RandSVDOptions struct {
+	// NIter is the number of orthogonal-iteration refinement rounds
+	// (the loop in Algorithm 4). 1 is usually sufficient for PEPS
+	// truncations; 0 gives the plain range sketch.
+	NIter int
+	// Oversample adds extra sketch columns that are truncated away at the
+	// end, improving the accuracy of the leading rank singular values.
+	Oversample int
+	// Orth selects the orthogonalization kernel; defaults to OrthQR.
+	Orth OrthFunc
+	// Rng supplies the random sketch; required.
+	Rng *rand.Rand
+}
+
+// RandSVD approximates the rank-`rank` truncated SVD of the implicitly
+// given operator following the paper's Algorithm 4:
+//
+//	Q <- random n-by-r block; P <- orth(A Q)
+//	repeat NIter times: Q <- orth(A* P); P <- orth(A Q)
+//	B = P* A  (computed as (A* P)*);  SVD(B) = U~ S V*;  U = P U~
+//
+// It returns U (m-by-k), s (length k), V (n-by-k) with
+// k = min(rank, m, n). The operator is never materialized.
+func RandSVD(op Operator, rank int, opts RandSVDOptions) (u *tensor.Dense, s []float64, v *tensor.Dense) {
+	if opts.Rng == nil {
+		panic("linalg: RandSVD requires RandSVDOptions.Rng")
+	}
+	orth := opts.Orth
+	if orth == nil {
+		orth = OrthQR
+	}
+	m, n := op.Rows(), op.Cols()
+	k := min(rank, min(m, n))
+	if k <= 0 {
+		panic(fmt.Sprintf("linalg: RandSVD rank %d invalid for %d x %d operator", rank, m, n))
+	}
+	r := min(k+opts.Oversample, min(m, n))
+
+	q := tensor.Rand(opts.Rng, n, r)
+	p := orth(op.Apply(q))
+	for i := 0; i < opts.NIter; i++ {
+		q = orth(op.ApplyAdjoint(p))
+		p = orth(op.Apply(q))
+	}
+	// B = P* A as an r-by-n matrix: (A* P)*.
+	b := op.ApplyAdjoint(p).Conj().Transpose(1, 0)
+	ub, sb, vb := SVD(b)
+	kk := min(k, len(sb))
+	u = tensor.MatMul(p, sliceCols(ub, kk))
+	return u, sb[:kk], sliceCols(vb, kk)
+}

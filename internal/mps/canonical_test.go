@@ -1,0 +1,91 @@
+package mps
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"gokoala/internal/einsumsvd"
+	"gokoala/internal/tensor"
+)
+
+func TestCanonicalizeLeftPreservesState(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	s := Random(rng, 5, 2, 3)
+	c := CanonicalizeLeft(eng, s)
+	if !tensor.AllClose(amplitudes(t, c), amplitudes(t, s), 1e-10, 1e-10) {
+		t.Fatal("left canonicalization changed the state")
+	}
+	// Every site but the last is a left isometry.
+	for i := 0; i < c.Len()-1; i++ {
+		st := c.Sites[i]
+		g := eng.Einsum("lpa,lpb->ab", st.Conj(), st)
+		k := st.Dim(2)
+		if !tensor.AllClose(g, tensor.Eye(k), 0, 1e-10) {
+			t.Fatalf("site %d not a left isometry", i)
+		}
+	}
+	// Norm concentrated in the last site.
+	if got, want := c.Sites[c.Len()-1].Norm(), s.Norm(eng); math.Abs(got-want) > 1e-9*want {
+		t.Fatalf("last-site norm %g, state norm %g", got, want)
+	}
+}
+
+func TestCanonicalizeRightPreservesState(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	s := Random(rng, 4, 3, 2)
+	c := CanonicalizeRight(eng, s)
+	if !tensor.AllClose(amplitudes(t, c), amplitudes(t, s), 1e-10, 1e-10) {
+		t.Fatal("right canonicalization changed the state")
+	}
+	for i := 1; i < c.Len(); i++ {
+		st := c.Sites[i]
+		g := eng.Einsum("apr,bpr->ab", st.Conj(), st)
+		k := st.Dim(0)
+		if !tensor.AllClose(g, tensor.Eye(k), 0, 1e-10) {
+			t.Fatalf("site %d not a right isometry", i)
+		}
+	}
+}
+
+func TestCompressCanonicalExactAtFullRank(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	s := Random(rng, 5, 2, 4)
+	c := CompressCanonical(eng, s, 64)
+	if !tensor.AllClose(amplitudes(t, c), amplitudes(t, s), 1e-9, 1e-9) {
+		t.Fatal("full-rank canonical compression changed the state")
+	}
+}
+
+func TestCompressCanonicalRespectsCapAndBeatsNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	s := Random(rng, 6, 2, 6)
+	want := amplitudes(t, s)
+	wn := want.Norm()
+
+	canon := CompressCanonical(eng, s, 3)
+	if canon.MaxBond() > 3 {
+		t.Fatalf("canonical compression ignored cap: %d", canon.MaxBond())
+	}
+	errCanon := amplitudes(t, canon).Sub(want).Norm() / wn
+
+	// The canonical scheme should be at least as accurate (up to noise)
+	// as the single-pass sweep, and far from garbage.
+	if errCanon > 0.9 {
+		t.Fatalf("canonical compression error %g too large", errCanon)
+	}
+	naive := Compress(eng, s, 3, einsumsvd.Explicit{})
+	errNaive := amplitudes(t, naive).Sub(want).Norm() / wn
+	if errCanon > errNaive*1.2 {
+		t.Fatalf("canonical compression (%g) should not lose badly to single-pass (%g)", errCanon, errNaive)
+	}
+}
+
+func TestBondDims(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	s := Random(rng, 4, 2, 3)
+	d := s.BondDims()
+	if len(d) != 3 || d[0] != 3 || d[2] != 3 {
+		t.Fatalf("BondDims = %v", d)
+	}
+}

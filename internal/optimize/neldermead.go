@@ -1,0 +1,147 @@
+// Package optimize provides the derivative-free classical optimizer used
+// by the VQE driver. The paper uses scipy's SLSQP; VQE treats the
+// optimizer as a black box over the energy landscape, so the Nelder-Mead
+// simplex method (documented substitution, DESIGN.md section 3) serves the
+// same role with only function evaluations.
+package optimize
+
+import "sort"
+
+// Result reports the outcome of a minimization.
+type Result struct {
+	X          []float64
+	F          float64
+	Evals      int
+	Iterations int
+	// History holds the best objective value after each iteration,
+	// the convergence trace plotted in paper Figure 14.
+	History []float64
+}
+
+// Options configures NelderMead.
+type Options struct {
+	// MaxIter bounds the number of simplex iterations (default 100).
+	MaxIter int
+	// FTol stops when the simplex function-value spread drops below it.
+	FTol float64
+	// InitialStep is the coordinate offset used to build the starting
+	// simplex (default 0.5).
+	InitialStep float64
+	// OnIteration, if set, is called with (iteration, best x, best f)
+	// after each iteration.
+	OnIteration func(iter int, x []float64, f float64)
+}
+
+// NelderMead minimizes f starting from x0 using the standard
+// reflection/expansion/contraction/shrink simplex rules.
+func NelderMead(f func([]float64) float64, x0 []float64, opts Options) Result {
+	n := len(x0)
+	if n == 0 {
+		panic("optimize: empty parameter vector")
+	}
+	maxIter := opts.MaxIter
+	if maxIter <= 0 {
+		maxIter = 100
+	}
+	step := opts.InitialStep
+	if step == 0 {
+		step = 0.5
+	}
+	ftol := opts.FTol
+	if ftol <= 0 {
+		ftol = 1e-10
+	}
+
+	const (
+		alpha = 1.0 // reflection
+		gamma = 2.0 // expansion
+		rho   = 0.5 // contraction
+		sigma = 0.5 // shrink
+	)
+
+	evals := 0
+	eval := func(x []float64) float64 {
+		evals++
+		return f(x)
+	}
+
+	type vertex struct {
+		x []float64
+		f float64
+	}
+	simplex := make([]vertex, n+1)
+	simplex[0] = vertex{append([]float64{}, x0...), eval(x0)}
+	for i := 0; i < n; i++ {
+		x := append([]float64{}, x0...)
+		x[i] += step
+		simplex[i+1] = vertex{x, eval(x)}
+	}
+	sortSimplex := func() {
+		sort.SliceStable(simplex, func(i, j int) bool { return simplex[i].f < simplex[j].f })
+	}
+	sortSimplex()
+
+	var history []float64
+	iter := 0
+	for ; iter < maxIter; iter++ {
+		best, worst := simplex[0], simplex[n]
+		if worst.f-best.f < ftol {
+			break
+		}
+		// Centroid of all but the worst vertex.
+		centroid := make([]float64, n)
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				centroid[j] += simplex[i].x[j] / float64(n)
+			}
+		}
+		lin := func(a, b []float64, t float64) []float64 {
+			out := make([]float64, n)
+			for j := 0; j < n; j++ {
+				out[j] = a[j] + t*(a[j]-b[j])
+			}
+			return out
+		}
+		xr := lin(centroid, worst.x, alpha)
+		fr := eval(xr)
+		switch {
+		case fr < best.f:
+			xe := lin(centroid, worst.x, gamma)
+			fe := eval(xe)
+			if fe < fr {
+				simplex[n] = vertex{xe, fe}
+			} else {
+				simplex[n] = vertex{xr, fr}
+			}
+		case fr < simplex[n-1].f:
+			simplex[n] = vertex{xr, fr}
+		default:
+			xc := lin(centroid, worst.x, -rho)
+			fc := eval(xc)
+			if fc < worst.f {
+				simplex[n] = vertex{xc, fc}
+			} else {
+				// Shrink toward the best vertex.
+				for i := 1; i <= n; i++ {
+					x := make([]float64, n)
+					for j := 0; j < n; j++ {
+						x[j] = best.x[j] + sigma*(simplex[i].x[j]-best.x[j])
+					}
+					simplex[i] = vertex{x, eval(x)}
+				}
+			}
+		}
+		sortSimplex()
+		history = append(history, simplex[0].f)
+		if opts.OnIteration != nil {
+			opts.OnIteration(iter, simplex[0].x, simplex[0].f)
+		}
+	}
+	return Result{
+		X:          append([]float64{}, simplex[0].x...),
+		F:          simplex[0].f,
+		Evals:      evals,
+		Iterations: iter,
+		History:    history,
+	}
+}

@@ -1,0 +1,72 @@
+package optimize
+
+import (
+	"math"
+	"testing"
+)
+
+func TestQuadraticBowl(t *testing.T) {
+	f := func(x []float64) float64 {
+		return (x[0]-1)*(x[0]-1) + 2*(x[1]+2)*(x[1]+2)
+	}
+	res := NelderMead(f, []float64{0, 0}, Options{MaxIter: 400, FTol: 1e-14})
+	if math.Abs(res.X[0]-1) > 1e-4 || math.Abs(res.X[1]+2) > 1e-4 {
+		t.Fatalf("minimum at %v, want (1,-2)", res.X)
+	}
+	if res.F > 1e-7 {
+		t.Fatalf("f = %g", res.F)
+	}
+	if res.Evals == 0 || res.Iterations == 0 {
+		t.Fatal("counters not recorded")
+	}
+}
+
+func TestRosenbrock(t *testing.T) {
+	f := func(x []float64) float64 {
+		a := 1 - x[0]
+		b := x[1] - x[0]*x[0]
+		return a*a + 100*b*b
+	}
+	res := NelderMead(f, []float64{-1.2, 1}, Options{MaxIter: 2000, FTol: 1e-16, InitialStep: 0.5})
+	if math.Abs(res.X[0]-1) > 1e-3 || math.Abs(res.X[1]-1) > 1e-3 {
+		t.Fatalf("Rosenbrock minimum at %v, want (1,1)", res.X)
+	}
+}
+
+func TestHistoryNonIncreasing(t *testing.T) {
+	f := func(x []float64) float64 { return x[0] * x[0] }
+	res := NelderMead(f, []float64{3}, Options{MaxIter: 50})
+	for i := 1; i < len(res.History); i++ {
+		if res.History[i] > res.History[i-1]+1e-15 {
+			t.Fatalf("best-so-far increased at %d: %g -> %g", i, res.History[i-1], res.History[i])
+		}
+	}
+}
+
+func TestOnIterationCallback(t *testing.T) {
+	calls := 0
+	f := func(x []float64) float64 { return x[0] * x[0] }
+	NelderMead(f, []float64{2}, Options{MaxIter: 10, OnIteration: func(iter int, x []float64, fv float64) {
+		calls++
+	}})
+	if calls == 0 {
+		t.Fatal("OnIteration never called")
+	}
+}
+
+func TestEarlyStopOnFTol(t *testing.T) {
+	f := func(x []float64) float64 { return 0 } // flat
+	res := NelderMead(f, []float64{1, 2, 3}, Options{MaxIter: 1000, FTol: 1e-9})
+	if res.Iterations > 1 {
+		t.Fatalf("flat function should stop immediately, took %d iterations", res.Iterations)
+	}
+}
+
+func TestEmptyVectorPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NelderMead(func(x []float64) float64 { return 0 }, nil, Options{})
+}

@@ -1,0 +1,182 @@
+package peps
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+
+	"gokoala/internal/einsumsvd"
+	"gokoala/internal/mps"
+	"gokoala/internal/tensor"
+)
+
+// ContractOption selects a PEPS contraction algorithm (paper sections III
+// and IV).
+type ContractOption interface {
+	// Name identifies the option in benchmark output.
+	Name() string
+}
+
+// Exact contracts without approximation by absorbing rows into a boundary
+// MPS with exploding bond dimension (the baseline of paper Figure 8,
+// following reference [12]). Exponential cost in the lattice height.
+type Exact struct{}
+
+func (Exact) Name() string { return "exact" }
+
+// BMPS is boundary-MPS contraction (paper Algorithm 2) with the zip-up
+// MPO application of Algorithm 3. With an Explicit strategy this is the
+// paper's "BMPS"; with ImplicitRand it is "IBMPS". For inner products the
+// two layers are merged site-by-site into a one-layer network first
+// (the standard approach of paper section III-B2).
+type BMPS struct {
+	// M is the truncation bond dimension of the boundary MPS.
+	M int
+	// Strategy is the einsumsvd implementation; Explicit ~ BMPS,
+	// ImplicitRand ~ IBMPS.
+	Strategy einsumsvd.Strategy
+}
+
+func (b BMPS) Name() string {
+	if _, ok := b.Strategy.(einsumsvd.ImplicitRand); ok {
+		return "ibmps"
+	}
+	return "bmps"
+}
+
+// TwoLayerBMPS contracts an inner product keeping bra and ket layers
+// implicit inside the einsumsvd operator (paper section III-B2 and
+// Table II "two-layer IBMPS"). Only applicable to two-layer contractions;
+// one-layer contraction falls back to BMPS behaviour.
+type TwoLayerBMPS struct {
+	M        int
+	Strategy einsumsvd.Strategy
+}
+
+func (b TwoLayerBMPS) Name() string {
+	if _, ok := b.Strategy.(einsumsvd.ImplicitRand); ok {
+		return "2layer-ibmps"
+	}
+	return "2layer-bmps"
+}
+
+// ContractScalar contracts a PEPS with physical dimension one to its
+// scalar value (one-layer contraction), including the global scale
+// factor. Rows are absorbed top to bottom into a boundary MPS.
+func (p *PEPS) ContractScalar(opt ContractOption) complex128 {
+	for r := 0; r < p.Rows; r++ {
+		for c := 0; c < p.Cols; c++ {
+			if p.sites[r][c].Dim(4) != 1 {
+				panic(fmt.Sprintf("peps: ContractScalar requires physical dimension 1 at (%d,%d)", r, c))
+			}
+		}
+	}
+	s := p.rowMPS(0)
+	for r := 1; r < p.Rows; r++ {
+		o := p.rowMPO(r)
+		switch v := opt.(type) {
+		case Exact:
+			s = mps.ApplyMPOExact(p.eng, s, o)
+		case BMPS:
+			s = mps.ApplyMPOZipUp(p.eng, s, o, v.M, v.Strategy)
+		case TwoLayerBMPS:
+			s = mps.ApplyMPOZipUp(p.eng, s, o, v.M, v.Strategy)
+		default:
+			panic(fmt.Sprintf("peps: unsupported contract option %T", opt))
+		}
+	}
+	// After the last row the MPS physical legs are the bottom boundary
+	// bonds (dimension one).
+	return s.ContractChain(p.eng) * complex(math.Exp(p.LogScale), 0)
+}
+
+// rowMPS converts row 0 (physical dims 1) into a boundary MPS whose
+// physical legs are the row's down bonds.
+func (p *PEPS) rowMPS(r int) *mps.MPS {
+	sites := make([]*tensor.Dense, p.Cols)
+	for c := 0; c < p.Cols; c++ {
+		t := p.sites[r][c]
+		// [u=1, l, d, r, p=1] -> [l, d, r]
+		sites[c] = p.eng.Einsum("uldrp->ldr", t)
+	}
+	return mps.NewMPS(sites)
+}
+
+// rowMPO converts row r (physical dims 1) into an MPO acting downward:
+// site [l, d(out), u(in), r].
+func (p *PEPS) rowMPO(r int) *mps.MPO {
+	sites := make([]*tensor.Dense, p.Cols)
+	for c := 0; c < p.Cols; c++ {
+		t := p.sites[r][c]
+		sites[c] = p.eng.Einsum("uldrp->ldur", t)
+	}
+	return mps.NewMPO(sites)
+}
+
+// Amplitude returns the amplitude <bits|psi> computed by projecting the
+// physical legs and contracting the resulting one-layer network.
+func (p *PEPS) Amplitude(bits []int, opt ContractOption) complex128 {
+	return p.Project(bits).ContractScalar(opt)
+}
+
+// MergeLayers builds the one-layer network of the inner product <p|q>:
+// each site is conj(p-site) contracted with the q-site over the physical
+// leg, with bond pairs merged (bond dimensions multiply). This is the
+// explicit two-layer-to-one-layer reduction whose O(r1^4 r2^4) memory the
+// two-layer method avoids.
+func MergeLayers(bra, ket *PEPS) *PEPS {
+	if bra.Rows != ket.Rows || bra.Cols != ket.Cols {
+		panic("peps: lattice size mismatch")
+	}
+	eng := bra.eng
+	sites := make([][]*tensor.Dense, bra.Rows)
+	for r := 0; r < bra.Rows; r++ {
+		sites[r] = make([]*tensor.Dense, bra.Cols)
+		for c := 0; c < bra.Cols; c++ {
+			a := bra.sites[r][c].Conj()
+			b := ket.sites[r][c]
+			m := eng.Einsum("ULDRp,uldrp->UuLlDdRr", a, b)
+			sh := m.Shape()
+			sites[r][c] = m.Reshape(sh[0]*sh[1], sh[2]*sh[3], sh[4]*sh[5], sh[6]*sh[7], 1)
+		}
+	}
+	out := New(eng, sites)
+	out.LogScale = bra.LogScale + ket.LogScale
+	return out
+}
+
+// Inner returns <p|q> with the selected contraction algorithm. Exact and
+// BMPS merge the two layers into a one-layer network first; TwoLayerBMPS
+// keeps the layers implicit (see twolayer.go).
+func (p *PEPS) Inner(q *PEPS, opt ContractOption) complex128 {
+	if tl, ok := opt.(TwoLayerBMPS); ok {
+		return innerTwoLayer(p, q, tl)
+	}
+	return MergeLayers(p, q).ContractScalar(opt)
+}
+
+// Norm returns sqrt(<p|p>).
+func (p *PEPS) Norm(opt ContractOption) float64 {
+	v := p.Inner(p, opt)
+	return math.Sqrt(math.Max(0, real(v)))
+}
+
+// NormalizedInner returns <p|q> / (|p| |q|) — phases included — useful for
+// fidelity studies.
+func (p *PEPS) NormalizedInner(q *PEPS, opt ContractOption) complex128 {
+	ip := p.Inner(q, opt)
+	np, nq := p.Norm(opt), q.Norm(opt)
+	if np == 0 || nq == 0 {
+		return 0
+	}
+	return ip / complex(np*nq, 0)
+}
+
+// RelativeError returns |a-b| / |b|, the accuracy metric of paper
+// Figure 10.
+func RelativeError(approx, exact complex128) float64 {
+	if exact == 0 {
+		return cmplx.Abs(approx)
+	}
+	return cmplx.Abs(approx-exact) / cmplx.Abs(exact)
+}

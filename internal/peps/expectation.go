@@ -1,0 +1,122 @@
+package peps
+
+import (
+	"fmt"
+	"math"
+
+	"gokoala/internal/einsumsvd"
+	"gokoala/internal/quantum"
+)
+
+// ExpectationOptions configures expectation-value evaluation.
+type ExpectationOptions struct {
+	// M is the truncation bond dimension for boundary contractions.
+	M int
+	// Strategy is the einsumsvd strategy for boundary contractions
+	// (Explicit ~ BMPS, ImplicitRand ~ IBMPS).
+	Strategy einsumsvd.Strategy
+	// UseCache enables the intermediate-caching scheme of paper section
+	// IV-B: the row environments of <psi|psi> are computed once (two full
+	// two-layer sweeps) and every local term is then evaluated with a
+	// strip contraction.
+	UseCache bool
+}
+
+// Expectation returns the Rayleigh quotient <psi|H|psi> / <psi|psi> for a
+// Hamiltonian given as a sum of local terms.
+func (p *PEPS) Expectation(obs *quantum.Observable, opts ExpectationOptions) complex128 {
+	if opts.M <= 0 {
+		panic("peps: ExpectationOptions.M must be positive")
+	}
+	if opts.Strategy == nil {
+		panic("peps: ExpectationOptions.Strategy must be set")
+	}
+	if ms := obs.MaxSite(); ms >= p.Rows*p.Cols {
+		panic(fmt.Sprintf("peps: observable touches site %d beyond lattice size %d", ms, p.Rows*p.Cols))
+	}
+	if opts.UseCache {
+		return p.expectationCached(obs, opts)
+	}
+	return p.expectationDirect(obs, opts)
+}
+
+// EnergyPerSite returns the real part of the expectation divided by the
+// number of lattice sites, the quantity plotted in paper Figures 13-14.
+func (p *PEPS) EnergyPerSite(obs *quantum.Observable, opts ExpectationOptions) float64 {
+	return real(p.Expectation(obs, opts)) / float64(p.Rows*p.Cols)
+}
+
+// applyTermExact applies one observable term to a shallow clone of the
+// state without truncation, returning |phi> = op |psi> (coefficient not
+// included).
+func (p *PEPS) applyTermExact(t quantum.Term) *PEPS {
+	phi := p.ShallowClone()
+	switch len(t.Sites) {
+	case 1:
+		phi.ApplyOneSite(t.Op, t.Sites[0])
+	case 2:
+		phi.ApplyTwoSite(t.Op, t.Sites[0], t.Sites[1], UpdateOptions{Rank: 0, Method: UpdateDirect})
+	default:
+		panic("peps: unsupported term arity")
+	}
+	return phi
+}
+
+// expectationDirect evaluates each term with a full two-layer contraction
+// (paper equation 5 without caching): one contraction for the norm and
+// one per term.
+func (p *PEPS) expectationDirect(obs *quantum.Observable, opts ExpectationOptions) complex128 {
+	opt := TwoLayerBMPS{M: opts.M, Strategy: opts.Strategy}
+	den := p.Inner(p, opt)
+	var num complex128
+	for _, t := range obs.Terms {
+		phi := p.applyTermExact(t)
+		num += t.Coef * p.Inner(phi, opt)
+	}
+	return num / den
+}
+
+// expectationCached implements paper section IV-B: two full sweeps build
+// the per-row top and bottom environments of <psi|psi>, and every local
+// term is evaluated by contracting only the strip of rows it touches.
+func (p *PEPS) expectationCached(obs *quantum.Observable, opts ExpectationOptions) complex128 {
+	tops := p.TopEnvironments(opts.M, opts.Strategy)
+	bottoms := p.BottomEnvironments(opts.M, opts.Strategy)
+
+	den := closeBoundaries(p.eng, tops[0], bottoms[0])
+	var num complex128
+	for _, t := range obs.Terms {
+		rlo, rhi := p.termRowSpan(t)
+		phi := p.applyTermExact(t)
+		s := tops[rlo]
+		for r := rlo; r <= rhi; r++ {
+			s = applyTwoLayerRow(p.eng, s, p.row(r), phi.row(r), opts.M, opts.Strategy)
+		}
+		num += t.Coef * closeBoundaries(p.eng, s, bottoms[rhi+1])
+	}
+	return num / den
+}
+
+// termRowSpan returns the inclusive row range a term's exact application
+// modifies, including any SWAP routing for non-adjacent two-site terms
+// (the routing of applyRouted stays within the rows of the two sites).
+func (p *PEPS) termRowSpan(t quantum.Term) (int, int) {
+	rlo, rhi := p.Rows, -1
+	for _, s := range t.Sites {
+		r, _ := p.Coords(s)
+		if r < rlo {
+			rlo = r
+		}
+		if r > rhi {
+			rhi = r
+		}
+	}
+	return rlo, rhi
+}
+
+// SanityCheckNorm reports whether the state's norm is finite and positive
+// under the given contraction settings; useful in long evolutions.
+func (p *PEPS) SanityCheckNorm(opts ExpectationOptions) bool {
+	v := real(p.Inner(p, TwoLayerBMPS{M: opts.M, Strategy: opts.Strategy}))
+	return !math.IsNaN(v) && !math.IsInf(v, 0) && v > 0
+}

@@ -1,0 +1,92 @@
+package quantum
+
+import "gokoala/internal/tensor"
+
+// J1J2Params are the couplings of the spin-1/2 J1-J2 Heisenberg model of
+// paper equation (7): J1 couples nearest neighbors, J2 couples diagonal
+// neighbors, and h is a uniform field.
+type J1J2Params struct {
+	J1x, J1y, J1z float64
+	J2x, J2y, J2z float64
+	Hx, Hy, Hz    float64
+}
+
+// PaperJ1J2Params returns the parameter set used in paper Figure 13:
+// J1 = 1.0 isotropic, J2 = 0.5 isotropic, h = 0.2 along all axes.
+func PaperJ1J2Params() J1J2Params {
+	return J1J2Params{
+		J1x: 1.0, J1y: 1.0, J1z: 1.0,
+		J2x: 0.5, J2y: 0.5, J2z: 0.5,
+		Hx: 0.2, Hy: 0.2, Hz: 0.2,
+	}
+}
+
+// J1J2Heisenberg builds the J1-J2 Heisenberg Hamiltonian of paper
+// equation (7) on an nrows-by-ncols square lattice. Pair sums run over
+// horizontally/vertically adjacent sites (J1) and both diagonal
+// directions (J2); site indices are row-major.
+func J1J2Heisenberg(nrows, ncols int, p J1J2Params) *Observable {
+	o := NewObservable()
+	xx := tensor.Kron(X(), X())
+	yy := tensor.Kron(Y(), Y())
+	zz := tensor.Kron(Z(), Z())
+	site := func(r, c int) int { return r*ncols + c }
+	addPair := func(s1, s2 int, jx, jy, jz float64) {
+		if jx != 0 {
+			o.AddTerm(complex(jx, 0), xx, s1, s2)
+		}
+		if jy != 0 {
+			o.AddTerm(complex(jy, 0), yy, s1, s2)
+		}
+		if jz != 0 {
+			o.AddTerm(complex(jz, 0), zz, s1, s2)
+		}
+	}
+	for r := 0; r < nrows; r++ {
+		for c := 0; c < ncols; c++ {
+			if c+1 < ncols {
+				addPair(site(r, c), site(r, c+1), p.J1x, p.J1y, p.J1z)
+			}
+			if r+1 < nrows {
+				addPair(site(r, c), site(r+1, c), p.J1x, p.J1y, p.J1z)
+			}
+			if r+1 < nrows && c+1 < ncols {
+				addPair(site(r, c), site(r+1, c+1), p.J2x, p.J2y, p.J2z)
+			}
+			if r+1 < nrows && c-1 >= 0 {
+				addPair(site(r, c), site(r+1, c-1), p.J2x, p.J2y, p.J2z)
+			}
+			if p.Hx != 0 {
+				o.AddTerm(complex(p.Hx, 0), X(), site(r, c))
+			}
+			if p.Hy != 0 {
+				o.AddTerm(complex(p.Hy, 0), Y(), site(r, c))
+			}
+			if p.Hz != 0 {
+				o.AddTerm(complex(p.Hz, 0), Z(), site(r, c))
+			}
+		}
+	}
+	return o
+}
+
+// TransverseFieldIsing builds the TFI Hamiltonian of paper equation (8):
+// H = sum_<ij> Jz Z_i Z_j + sum_i hx X_i on an nrows-by-ncols lattice.
+// The paper's ferromagnetic VQE benchmark uses Jz = -1, hx = -3.5.
+func TransverseFieldIsing(nrows, ncols int, jz, hx float64) *Observable {
+	o := NewObservable()
+	zz := tensor.Kron(Z(), Z())
+	site := func(r, c int) int { return r*ncols + c }
+	for r := 0; r < nrows; r++ {
+		for c := 0; c < ncols; c++ {
+			if c+1 < ncols {
+				o.AddTerm(complex(jz, 0), zz, site(r, c), site(r, c+1))
+			}
+			if r+1 < nrows {
+				o.AddTerm(complex(jz, 0), zz, site(r, c), site(r+1, c))
+			}
+			o.AddTerm(complex(hx, 0), X(), site(r, c))
+		}
+	}
+	return o
+}

@@ -1,0 +1,175 @@
+package rqc
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"testing"
+
+	"gokoala/internal/backend"
+	"gokoala/internal/einsumsvd"
+	"gokoala/internal/peps"
+	"gokoala/internal/statevector"
+)
+
+func TestPatternPairsCoverAllBondsOnce(t *testing.T) {
+	rows, cols := 3, 4
+	seen := map[[2]int]int{}
+	for _, p := range []Pattern{HorizontalEven, HorizontalOdd, VerticalEven, VerticalOdd} {
+		for _, pr := range PatternPairs(p, rows, cols) {
+			seen[pr]++
+		}
+	}
+	// Every lattice bond appears exactly once across the four patterns.
+	wantBonds := rows*(cols-1) + (rows-1)*cols
+	if len(seen) != wantBonds {
+		t.Fatalf("covered %d bonds, want %d", len(seen), wantBonds)
+	}
+	for pr, n := range seen {
+		if n != 1 {
+			t.Fatalf("bond %v covered %d times", pr, n)
+		}
+	}
+}
+
+func TestPatternPairsDisjointWithinPattern(t *testing.T) {
+	for _, p := range []Pattern{HorizontalEven, HorizontalOdd, VerticalEven, VerticalOdd} {
+		used := map[int]bool{}
+		for _, pr := range PatternPairs(p, 4, 4) {
+			if used[pr[0]] || used[pr[1]] {
+				t.Fatalf("pattern %d reuses a site", p)
+			}
+			used[pr[0]] = true
+			used[pr[1]] = true
+		}
+	}
+}
+
+func TestGenerateGateStructure(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	c := Generate(rng, 3, 3, 8)
+	if c.Layers != 8 {
+		t.Fatalf("layers = %d", c.Layers)
+	}
+	singles, doubles := 0, 0
+	for _, g := range c.Gates {
+		switch len(g.Sites) {
+		case 1:
+			singles++
+		case 2:
+			doubles++
+		}
+	}
+	if singles != 8*9 {
+		t.Fatalf("single-qubit gates = %d, want 72", singles)
+	}
+	// Two full pattern rotations: each covers all 12 bonds.
+	if doubles != 2*12 {
+		t.Fatalf("two-qubit gates = %d, want 24", doubles)
+	}
+}
+
+func TestNoRepeatedSingleQubitGate(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	c := Generate(rng, 2, 2, 12)
+	last := map[int]*struct{ data []complex128 }{}
+	for _, g := range c.Gates {
+		if len(g.Sites) != 1 {
+			continue
+		}
+		s := g.Sites[0]
+		if prev, ok := last[s]; ok {
+			same := true
+			for i, v := range g.Gate.Data() {
+				if v != prev.data[i] {
+					same = false
+					break
+				}
+			}
+			if same {
+				t.Fatalf("site %d received the same gate twice in a row", s)
+			}
+		}
+		last[s] = &struct{ data []complex128 }{g.Gate.Data()}
+	}
+}
+
+func TestExactRQCEvolutionMatchesStateVector(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	rows, cols := 2, 3
+	c := Generate(rng, rows, cols, 6)
+	eng := backend.NewDense()
+	ps := peps.ComputationalZeros(eng, rows, cols)
+	sv := statevector.Zeros(rows * cols)
+	opts := peps.UpdateOptions{Rank: 0, Method: peps.UpdateQR}
+	for _, g := range c.Gates {
+		ps.ApplyGate(g, opts)
+		sv.ApplyGate(g)
+	}
+	bits := RandomBits(rng, rows*cols)
+	want := sv.Amplitude(bits)
+	got := ps.Amplitude(bits, peps.BMPS{M: 1 << 16, Strategy: einsumsvd.Explicit{}})
+	if cmplx.Abs(got-want) > 1e-9 {
+		t.Fatalf("RQC amplitude %v, want %v", got, want)
+	}
+	if n := ps.Norm(peps.TwoLayerBMPS{M: 1 << 16, Strategy: einsumsvd.Explicit{}}); math.Abs(n-1) > 1e-9 {
+		t.Fatalf("RQC state norm %g", n)
+	}
+}
+
+func TestBondDimensionGrowth(t *testing.T) {
+	// iSWAP has operator Schmidt rank 4, so each full pattern rotation
+	// multiplies bond dimensions by up to 4; after 8 layers (two
+	// rotations) bonds reach 16, matching the paper's "initial bond
+	// dimension of 16" for its 8-layer RQC states.
+	rng := rand.New(rand.NewSource(4))
+	rows, cols := 3, 3
+	eng := backend.NewDense()
+	ps := peps.ComputationalZeros(eng, rows, cols)
+	opts := peps.UpdateOptions{Rank: 0, Method: peps.UpdateQR}
+	c := Generate(rng, rows, cols, 8)
+	for _, g := range c.Gates {
+		ps.ApplyGate(g, opts)
+	}
+	if ps.MaxBond() > 16 {
+		t.Fatalf("bond grew beyond iSWAP bound: %d", ps.MaxBond())
+	}
+	if ps.MaxBond() < 8 {
+		t.Fatalf("entangling layers did not grow bonds enough: %d", ps.MaxBond())
+	}
+}
+
+func TestTruncatedContractionErrorDropsWithM(t *testing.T) {
+	// Miniature of paper Figure 10: fix an RQC state, contract one
+	// amplitude with increasing contraction bond dimension, and require
+	// the relative error against exact contraction to fall below 1e-10
+	// once m passes the state's own bond dimension, with BMPS and IBMPS
+	// agreeing.
+	rng := rand.New(rand.NewSource(5))
+	rows, cols := 3, 3
+	c := Generate(rng, rows, cols, 4) // one pattern rotation: bond <= 4
+	eng := backend.NewDense()
+	ps := peps.ComputationalZeros(eng, rows, cols)
+	for _, g := range c.Gates {
+		ps.ApplyGate(g, peps.UpdateOptions{Rank: 0, Method: peps.UpdateQR})
+	}
+	bits := RandomBits(rng, rows*cols)
+	proj := ps.Project(bits)
+	exact := proj.ContractScalar(peps.Exact{})
+	errs := map[string][]float64{}
+	for _, m := range []int{1, 4, 32} {
+		eVal := peps.RelativeError(proj.ContractScalar(peps.BMPS{M: m, Strategy: einsumsvd.Explicit{}}), exact)
+		iVal := peps.RelativeError(proj.ContractScalar(peps.BMPS{M: m, Strategy: einsumsvd.ImplicitRand{NIter: 2, Oversample: 4, Rng: rng}}), exact)
+		errs["bmps"] = append(errs["bmps"], eVal)
+		errs["ibmps"] = append(errs["ibmps"], iVal)
+	}
+	for name, es := range errs {
+		last := es[len(es)-1]
+		if last > 1e-8 {
+			t.Fatalf("%s: error at m=32 should be near machine precision, got %g (all %v)", name, last, es)
+		}
+		if es[0] < last {
+			t.Fatalf("%s: error should not grow with m: %v", name, es)
+		}
+	}
+}

@@ -1,0 +1,115 @@
+package tensor
+
+import (
+	"fmt"
+	"sync/atomic"
+)
+
+// flopCount accumulates complex multiply-add counts (each counted as one
+// "flop pair", i.e. 8 real flops) performed by MatMul and BatchMatMul.
+// The counter backs the empirical complexity fits for Table II.
+var flopCount atomic.Int64
+
+// FlopCount returns the cumulative number of complex fused multiply-adds
+// performed by matrix multiplication since process start or the last call
+// to ResetFlopCount.
+func FlopCount() int64 { return flopCount.Load() }
+
+// ResetFlopCount zeroes the global flop counter.
+func ResetFlopCount() { flopCount.Store(0) }
+
+// AddFlops adds n complex multiply-adds to the global counter. Exposed so
+// non-GEMM kernels (e.g. distributed collectives' local reductions) can
+// participate in the same accounting.
+func AddFlops(n int64) { flopCount.Add(n) }
+
+const gemmBlock = 64
+
+// MatMul returns the matrix product a@b of two rank-2 tensors.
+func MatMul(a, b *Dense) *Dense {
+	if a.Rank() != 2 || b.Rank() != 2 {
+		panic(fmt.Sprintf("tensor: MatMul requires matrices, got ranks %d and %d", a.Rank(), b.Rank()))
+	}
+	m, ka := a.shape[0], a.shape[1]
+	kb, n := b.shape[0], b.shape[1]
+	if ka != kb {
+		panic(fmt.Sprintf("tensor: MatMul inner dimension mismatch %v x %v", a.shape, b.shape))
+	}
+	out := New(m, n)
+	gemm(out.data, a.data, b.data, m, n, ka)
+	return out
+}
+
+// BatchMatMul multiplies batch stacks of matrices: a has shape [bt, m, k],
+// b has shape [bt, k, n], and the result has shape [bt, m, n].
+func BatchMatMul(a, b *Dense) *Dense {
+	if a.Rank() != 3 || b.Rank() != 3 {
+		panic(fmt.Sprintf("tensor: BatchMatMul requires rank-3 operands, got %d and %d", a.Rank(), b.Rank()))
+	}
+	bt, m, ka := a.shape[0], a.shape[1], a.shape[2]
+	bt2, kb, n := b.shape[0], b.shape[1], b.shape[2]
+	if bt != bt2 || ka != kb {
+		panic(fmt.Sprintf("tensor: BatchMatMul shape mismatch %v x %v", a.shape, b.shape))
+	}
+	out := New(bt, m, n)
+	for i := 0; i < bt; i++ {
+		gemm(out.data[i*m*n:(i+1)*m*n], a.data[i*m*ka:(i+1)*m*ka], b.data[i*ka*n:(i+1)*ka*n], m, n, ka)
+	}
+	return out
+}
+
+// gemm computes C += A@B for row-major C (m x n), A (m x k), B (k x n).
+// It blocks over k and n for cache locality and uses an i-k-j loop so the
+// inner loop streams through contiguous rows of B and C.
+func gemm(c, a, b []complex128, m, n, k int) {
+	flopCount.Add(int64(m) * int64(n) * int64(k))
+	for kk := 0; kk < k; kk += gemmBlock {
+		kMax := min(kk+gemmBlock, k)
+		for jj := 0; jj < n; jj += gemmBlock {
+			jMax := min(jj+gemmBlock, n)
+			for i := 0; i < m; i++ {
+				arow := a[i*k : (i+1)*k]
+				crow := c[i*n+jj : i*n+jMax]
+				for l := kk; l < kMax; l++ {
+					ail := arow[l]
+					if ail == 0 {
+						continue
+					}
+					brow := b[l*n+jj : l*n+jMax]
+					for j := range crow {
+						crow[j] += ail * brow[j]
+					}
+				}
+			}
+		}
+	}
+}
+
+// MatVec returns the matrix-vector product a@x for a rank-2 a and rank-1 x.
+func MatVec(a, x *Dense) *Dense {
+	if a.Rank() != 2 || x.Rank() != 1 {
+		panic("tensor: MatVec requires a matrix and a vector")
+	}
+	m, k := a.shape[0], a.shape[1]
+	if x.shape[0] != k {
+		panic(fmt.Sprintf("tensor: MatVec dimension mismatch %v x %v", a.shape, x.shape))
+	}
+	out := New(m)
+	flopCount.Add(int64(m) * int64(k))
+	for i := 0; i < m; i++ {
+		var s complex128
+		row := a.data[i*k : (i+1)*k]
+		for j, v := range row {
+			s += v * x.data[j]
+		}
+		out.data[i] = s
+	}
+	return out
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

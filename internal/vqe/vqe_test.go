@@ -1,0 +1,96 @@
+package vqe
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"gokoala/internal/quantum"
+	"gokoala/internal/statevector"
+)
+
+func TestAnsatzGateCount(t *testing.T) {
+	a := Ansatz{Rows: 3, Cols: 3, Layers: 2}
+	if a.NumParams() != 18 {
+		t.Fatalf("NumParams = %d", a.NumParams())
+	}
+	gates := a.Gates(make([]float64, 18))
+	// per layer: 9 Ry + 12 CX
+	if len(gates) != 2*(9+12) {
+		t.Fatalf("gate count = %d", len(gates))
+	}
+}
+
+func TestZeroParamsGiveProductState(t *testing.T) {
+	// Ry(0) = I and CX|00> = |00>: energy equals the |0...0> energy.
+	a := Ansatz{Rows: 2, Cols: 2, Layers: 1}
+	obs := quantum.TransverseFieldIsing(2, 2, -1, -3.5)
+	got := EnergyStateVector(a, obs, make([]float64, a.NumParams()))
+	// <0000|H|0000>: 4 ZZ bonds at -1, X terms vanish -> -4/4 = -1.
+	if math.Abs(got-(-1)) > 1e-12 {
+		t.Fatalf("product-state energy per site %g, want -1", got)
+	}
+}
+
+func TestPEPSObjectiveMatchesStateVectorAtFullRank(t *testing.T) {
+	a := Ansatz{Rows: 2, Cols: 2, Layers: 1}
+	obs := quantum.TransverseFieldIsing(2, 2, -1, -3.5)
+	rng := rand.New(rand.NewSource(1))
+	theta := make([]float64, a.NumParams())
+	for i := range theta {
+		theta[i] = rng.Float64()
+	}
+	want := EnergyStateVector(a, obs, theta)
+	got := EnergyPEPS(a, obs, theta, Options{Rank: 4, ContractionRank: 16, Seed: 2})
+	if math.Abs(got-want) > 1e-6*(1+math.Abs(want)) {
+		t.Fatalf("PEPS %g vs state vector %g", got, want)
+	}
+}
+
+func TestVQEFindsIsingGroundStateSmall(t *testing.T) {
+	// 1x2 ferromagnetic TFI: the 2-parameter single-layer ansatz can get
+	// close to the true ground state.
+	a := Ansatz{Rows: 1, Cols: 2, Layers: 2}
+	obs := quantum.TransverseFieldIsing(1, 2, -1, -3.5)
+	rng := rand.New(rand.NewSource(3))
+	exactE, _ := statevector.GroundState(obs, 2, rng)
+	exactPerSite := exactE / 2
+	res := Run(a, obs, Options{Rank: 0, MaxIter: 300, Seed: 4})
+	if res.EnergyPerSite > exactPerSite+0.05*math.Abs(exactPerSite) {
+		t.Fatalf("VQE %g, exact %g", res.EnergyPerSite, exactPerSite)
+	}
+	if res.EnergyPerSite < exactPerSite-1e-9 {
+		t.Fatalf("VQE went below the exact ground state: %g < %g", res.EnergyPerSite, exactPerSite)
+	}
+}
+
+func TestVQEHistoryNonIncreasing(t *testing.T) {
+	a := Ansatz{Rows: 2, Cols: 2, Layers: 1}
+	obs := quantum.TransverseFieldIsing(2, 2, -1, -3.5)
+	res := Run(a, obs, Options{Rank: 0, MaxIter: 20, Seed: 5})
+	for i := 1; i < len(res.History); i++ {
+		if res.History[i] > res.History[i-1]+1e-12 {
+			t.Fatalf("history increased: %v", res.History)
+		}
+	}
+	if res.Evals == 0 {
+		t.Fatal("no evaluations recorded")
+	}
+}
+
+func TestRank1PEPSIsProductStateBound(t *testing.T) {
+	// Paper Figure 14: with bond dimension 1 the PEPS cannot represent
+	// entanglement, so its energy landscape is that of product states.
+	// For the ferromagnetic TFI model the optimal product state reaches
+	// about -3.5 per site (the field term), clearly above the exact
+	// ground energy.
+	a := Ansatz{Rows: 2, Cols: 2, Layers: 1}
+	obs := quantum.TransverseFieldIsing(2, 2, -1, -3.5)
+	res := Run(a, obs, Options{Rank: 1, ContractionRank: 4, MaxIter: 60, Seed: 6})
+	rng := rand.New(rand.NewSource(7))
+	exactE, _ := statevector.GroundState(obs, 4, rng)
+	exactPerSite := exactE / 4
+	if res.EnergyPerSite < exactPerSite-1e-6 {
+		t.Fatalf("rank-1 energy %g below exact %g", res.EnergyPerSite, exactPerSite)
+	}
+}

@@ -1,0 +1,174 @@
+package gokoala
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"testing"
+
+	"gokoala/internal/backend"
+	"gokoala/internal/dist"
+	"gokoala/internal/quantum"
+	"gokoala/internal/statevector"
+)
+
+func TestPaperExampleRuns(t *testing.T) {
+	// The section V-A example end to end.
+	q := ComputationalZeros(2, 3)
+	q.ApplyOperator(quantum.Y(), []int{1})
+	q.ApplyOperator(quantum.CX(), []int{1, 4}, WithRank(2))
+	h := quantum.ObservableZZ(3, 4).Add(quantum.ObservableX(1).Scale(0.2))
+	got := q.Expectation(h)
+	// Y then CX(1->4): Z3 Z4 = -1 on |..1..1..>, X on |1> gives 0.
+	if cmplx.Abs(got-(-1)) > 1e-9 {
+		t.Fatalf("expectation = %v, want -1", got)
+	}
+}
+
+func TestFacadeMatchesStateVector(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	q := ComputationalZeros(2, 2)
+	sv := statevector.Zeros(4)
+	gates := []quantum.TrotterGate{
+		{Sites: []int{0}, Gate: quantum.H()},
+		{Sites: []int{0, 1}, Gate: quantum.CX()},
+		{Sites: []int{2}, Gate: quantum.Ry(0.8)},
+		{Sites: []int{2, 3}, Gate: quantum.RandomUnitary(rng, 4)},
+		{Sites: []int{1, 3}, Gate: quantum.ISwap()},
+	}
+	q.ApplyCircuit(gates)
+	for _, g := range gates {
+		sv.ApplyGate(g)
+	}
+	for i := 0; i < 16; i++ {
+		bits := []int{i >> 3 & 1, i >> 2 & 1, i >> 1 & 1, i & 1}
+		want := sv.Amplitude(bits)
+		got := q.Amplitude(bits, WithContractionBond(64), WithExplicitSVD())
+		if cmplx.Abs(got-want) > 1e-9 {
+			t.Fatalf("amplitude(%v) = %v, want %v", bits, got, want)
+		}
+	}
+	if n := q.Norm(WithContractionBond(64), WithExplicitSVD()); math.Abs(n-1) > 1e-9 {
+		t.Fatalf("norm = %g", n)
+	}
+	obs := quantum.TransverseFieldIsing(2, 2, -1, -3.5)
+	want := real(sv.Expectation(obs))
+	got := real(q.Expectation(obs, WithContractionBond(64)))
+	if math.Abs(got-want) > 1e-6*(1+math.Abs(want)) {
+		t.Fatalf("expectation %g, want %g", got, want)
+	}
+}
+
+func TestProbabilityNormalizes(t *testing.T) {
+	q := ComputationalZeros(2, 2)
+	q.ApplyOperator(quantum.H(), []int{0})
+	q.ApplyOperator(quantum.CX(), []int{0, 1})
+	p00 := q.Probability([]int{0, 0, 0, 0})
+	p11 := q.Probability([]int{1, 1, 0, 0})
+	if math.Abs(p00-0.5) > 1e-9 || math.Abs(p11-0.5) > 1e-9 {
+		t.Fatalf("Bell probabilities %g %g", p00, p11)
+	}
+	if p := q.Probability([]int{0, 1, 0, 0}); p > 1e-12 {
+		t.Fatalf("forbidden outcome probability %g", p)
+	}
+}
+
+func TestFidelitySelfAndOrthogonal(t *testing.T) {
+	a := ComputationalZeros(2, 2)
+	if f := a.Fidelity(a.Clone()); math.Abs(f-1) > 1e-9 {
+		t.Fatalf("self fidelity %g", f)
+	}
+	b := ComputationalBasis(2, 2, []int{1, 0, 0, 0})
+	if f := a.Fidelity(b); f > 1e-9 {
+		t.Fatalf("orthogonal fidelity %g", f)
+	}
+}
+
+func TestCloneIsIndependent(t *testing.T) {
+	a := ComputationalZeros(2, 2)
+	b := a.Clone()
+	b.ApplyOperator(quantum.X(), []int{0})
+	if f := a.Fidelity(b); f > 1e-9 {
+		t.Fatalf("clone mutation leaked: fidelity %g", f)
+	}
+	if f := a.Fidelity(a); math.Abs(f-1) > 1e-9 {
+		t.Fatalf("original damaged: %g", f)
+	}
+}
+
+func TestFacadeOnDistributedBackend(t *testing.T) {
+	grid := dist.NewGrid(dist.Stampede2(16))
+	q := ComputationalZeros(2, 2, WithBackend(backend.NewDist(grid, true)))
+	q.ApplyOperator(quantum.H(), []int{0})
+	q.ApplyOperator(quantum.CX(), []int{0, 1})
+	if p := q.Probability([]int{1, 1, 0, 0}); math.Abs(p-0.5) > 1e-8 {
+		t.Fatalf("dist-backend probability %g", p)
+	}
+	if grid.Snapshot().ParallelFlops == 0 {
+		t.Fatal("distributed execution was not metered")
+	}
+}
+
+func TestInvalidOperatorArityPanics(t *testing.T) {
+	q := ComputationalZeros(2, 2)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	q.ApplyOperator(quantum.X(), []int{0, 1, 2})
+}
+
+func TestSampleMatchesBornDistribution(t *testing.T) {
+	// Bell pair on sites 0,1 plus |+> on site 2: outcomes 00x, 11x each
+	// with probability 1/4.
+	q := ComputationalZeros(1, 3)
+	q.ApplyOperator(quantum.H(), []int{0})
+	q.ApplyOperator(quantum.CX(), []int{0, 1})
+	q.ApplyOperator(quantum.H(), []int{2})
+
+	rng := rand.New(rand.NewSource(2))
+	const trials = 2000
+	counts := map[[3]int]int{}
+	for i := 0; i < trials; i++ {
+		b := q.Sample(rng)
+		counts[[3]int{b[0], b[1], b[2]}]++
+	}
+	// Forbidden outcomes (bit0 != bit1) must never appear.
+	for k, c := range counts {
+		if k[0] != k[1] && c > 0 {
+			t.Fatalf("sampled forbidden outcome %v %d times", k, c)
+		}
+	}
+	// Allowed outcomes each ~ trials/4 within 5 sigma.
+	sigma := math.Sqrt(trials * 0.25 * 0.75)
+	for _, k := range [][3]int{{0, 0, 0}, {0, 0, 1}, {1, 1, 0}, {1, 1, 1}} {
+		c := float64(counts[k])
+		if math.Abs(c-trials/4.0) > 5*sigma {
+			t.Fatalf("outcome %v count %v deviates from %v", k, c, trials/4.0)
+		}
+	}
+}
+
+func TestSampleDeterministicState(t *testing.T) {
+	q := ComputationalBasis(2, 2, []int{1, 0, 1, 1})
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 5; i++ {
+		b := q.Sample(rng)
+		want := []int{1, 0, 1, 1}
+		for j := range b {
+			if b[j] != want[j] {
+				t.Fatalf("sample %v, want %v", b, want)
+			}
+		}
+	}
+}
+
+func TestSampleManyCount(t *testing.T) {
+	q := ComputationalZeros(1, 2)
+	rng := rand.New(rand.NewSource(4))
+	s := q.SampleMany(rng, 7)
+	if len(s) != 7 {
+		t.Fatalf("got %d samples", len(s))
+	}
+}

@@ -1,0 +1,88 @@
+package gokoala
+
+import (
+	"fmt"
+	"math/rand"
+
+	"gokoala/internal/peps"
+	"gokoala/internal/tensor"
+)
+
+// Sample draws one computational-basis bit string from the state's Born
+// distribution using the chain rule: sites are measured in row-major
+// order, and the marginal probability of each outcome is computed by a
+// boundary contraction of the two-layer network with the already-fixed
+// sites projected and the remaining sites traced. This is the standard
+// tensor-network sampling scheme for circuit simulation; cost is one
+// two-layer contraction per site.
+func (q *QuantumState) Sample(rng *rand.Rand, opts ...Option) []int {
+	c := q.cfg.withOverrides(opts)
+	n := q.Rows() * q.Cols()
+	bits := make([]int, n)
+	opt := peps.TwoLayerBMPS{M: c.m(), Strategy: c.strategy()}
+
+	// work holds the state with measured sites projected; unmeasured
+	// sites keep their physical legs, which the two-layer contraction
+	// traces over (computing the marginal).
+	work := q.state.ShallowClone()
+	norm := real(work.Inner(work, opt))
+	if norm <= 0 {
+		panic("gokoala: cannot sample from a state with non-positive norm")
+	}
+	for s := 0; s < n; s++ {
+		r, col := q.state.Coords(s)
+		// Marginal of bit 0 at site s given previous outcomes.
+		zero := projectSite(work, r, col, 0)
+		p0 := real(zero.Inner(zero, opt)) / norm
+		if p0 < 0 {
+			p0 = 0
+		}
+		if p0 > 1 {
+			p0 = 1
+		}
+		if rng.Float64() < p0 {
+			bits[s] = 0
+			work = zero
+			norm *= p0
+		} else {
+			bits[s] = 1
+			work = projectSite(work, r, col, 1)
+			norm *= 1 - p0
+		}
+		if norm <= 0 {
+			// The remaining conditional distribution is numerically
+			// degenerate; fill the rest uniformly.
+			for t := s + 1; t < n; t++ {
+				bits[t] = rng.Intn(2)
+			}
+			break
+		}
+	}
+	return bits
+}
+
+// SampleMany draws k independent bit strings.
+func (q *QuantumState) SampleMany(rng *rand.Rand, k int, opts ...Option) [][]int {
+	out := make([][]int, k)
+	for i := range out {
+		out[i] = q.Sample(rng, opts...)
+	}
+	return out
+}
+
+// projectSite returns a shallow copy of p with site (r, c)'s physical
+// leg contracted against |bit>.
+func projectSite(p *peps.PEPS, r, c, bit int) *peps.PEPS {
+	out := p.ShallowClone()
+	t := p.Site(r, c)
+	d := t.Dim(4)
+	if bit < 0 || bit >= d {
+		panic(fmt.Sprintf("gokoala: bit %d out of physical range %d", bit, d))
+	}
+	v := tensor.New(d)
+	v.Set(1, bit)
+	proj := p.Engine().Einsum("uldrp,p->uldr", t, v)
+	sh := proj.Shape()
+	out.SetSite(r, c, proj.Reshape(sh[0], sh[1], sh[2], sh[3], 1))
+	return out
+}
