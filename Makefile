@@ -1,0 +1,30 @@
+# Tier-1 gate: `make check` is what CI and reviewers run.
+
+GO ?= go
+
+.PHONY: all build test race vet check bench clean
+
+all: check
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# Race-check the concurrency-sensitive packages: the simulated
+# distributed runtime and the obs counters/span stack.
+race:
+	$(GO) test -race ./internal/dist/... ./internal/obs/... ./internal/backend/...
+
+vet:
+	$(GO) vet ./...
+
+check: build vet test race
+
+# Overhead reference for the tracing-off fast path (<2% target).
+bench:
+	$(GO) test -bench=BenchmarkContract -benchmem -run=^$$ ./internal/einsum/
+
+clean:
+	$(GO) clean ./...

@@ -3,25 +3,41 @@
 //
 // Usage:
 //
-//	koala-bench [-full] <experiment>...
+//	koala-bench [-full] [-trace file] [-metrics file] [-json dir] <experiment>...
 //	koala-bench all
 //
 // Experiments: table2 fig7a fig7b fig8a fig8b fig9 fig10 fig11 fig12
 // fig13a fig13b fig14. The -full flag selects larger sweeps closer to the
 // paper's parameters (minutes to hours on one core); the default sizes
 // finish quickly and preserve the swept shapes.
+//
+// Observability (see DESIGN.md "Observability"):
+//
+//	-trace f    write a Chrome trace_event file (chrome://tracing, Perfetto)
+//	-metrics f  write a JSON-lines span/metrics log
+//	-json dir   write one BENCH_<suite>.json per experiment
+//
+// Any of the three enables span collection and appends a per-phase time
+// breakdown after each experiment's table.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"time"
 
 	"gokoala/internal/bench"
+	"gokoala/internal/obs"
+	"gokoala/internal/tensor"
 )
 
 func main() {
 	full := flag.Bool("full", false, "run the larger parameter sweeps")
+	traceFile := flag.String("trace", "", "write a Chrome trace_event JSON file")
+	metricsFile := flag.String("metrics", "", "write a JSON-lines span/metrics log")
+	jsonDir := flag.String("json", "", "write BENCH_<suite>.json files into this directory")
 	flag.Parse()
 	args := flag.Args()
 	if len(args) == 0 {
@@ -31,103 +47,184 @@ func main() {
 	if len(args) == 1 && args[0] == "all" {
 		args = []string{"table2", "fig7a", "fig7b", "fig8a", "fig8b", "fig9", "fig10", "fig11", "fig12", "fig13a", "fig13b", "fig14", "ablation"}
 	}
+
+	if *traceFile != "" && *traceFile == *metricsFile {
+		fatal(fmt.Errorf("-trace and -metrics must name different files"))
+	}
+	if *jsonDir != "" {
+		// Fail before running minutes of experiments, not at write time.
+		if fi, err := os.Stat(*jsonDir); err != nil {
+			fatal(err)
+		} else if !fi.IsDir() {
+			fatal(fmt.Errorf("-json %s: not a directory", *jsonDir))
+		}
+	}
+
+	observing := *traceFile != "" || *metricsFile != "" || *jsonDir != ""
+	var closers []io.Closer
+	if observing {
+		var sinks []obs.Sink
+		if *traceFile != "" {
+			f, err := os.Create(*traceFile)
+			if err != nil {
+				fatal(err)
+			}
+			closers = append(closers, f)
+			sinks = append(sinks, obs.NewChromeTraceSink(f))
+		}
+		if *metricsFile != "" {
+			f, err := os.Create(*metricsFile)
+			if err != nil {
+				fatal(err)
+			}
+			closers = append(closers, f)
+			sinks = append(sinks, obs.NewJSONLSink(f))
+		}
+		obs.Enable(sinks...)
+	}
+
 	w := os.Stdout
 	for i, name := range args {
 		if i > 0 {
 			fmt.Fprintf(w, "\n%s\n\n", divider)
 		}
-		switch name {
-		case "table2":
-			cfg := bench.DefaultTable2Config()
-			if *full {
-				cfg.N = 6
-				cfg.Bonds = []int{2, 3, 4, 5}
-				cfg.Ms = []int{4, 8, 16, 32, 64}
+		params, run := suite(name, *full)
+		if run == nil {
+			fmt.Fprintf(os.Stderr, "unknown experiment %q\n", name)
+			usage()
+			os.Exit(2)
+		}
+		if observing {
+			obs.ResetCounters()
+			obs.ResetSummary()
+		}
+		res := bench.SuiteResult{Suite: name, Params: params}
+		res.Flops = flopsOf(func() {
+			res.WallSeconds = timeIt(func() { run(w) })
+		})
+		if observing {
+			bench.CollectSuiteMetrics(&res)
+			fmt.Fprintf(w, "\n-- %s phase breakdown --\n", name)
+			obs.WriteSummary(w)
+			obs.WriteMetrics(w)
+		}
+		if *jsonDir != "" {
+			path, err := bench.WriteBenchJSON(*jsonDir, res)
+			if err != nil {
+				fatal(err)
 			}
-			bench.ExperimentTable2(w, cfg)
-		case "fig7a":
-			cfg := bench.DefaultFig7aConfig()
-			if *full {
-				cfg.N = 8
-				cfg.Bonds = []int{2, 4, 8, 12, 16}
+			fmt.Fprintf(w, "\nwrote %s\n", path)
+		}
+	}
+	if observing {
+		if err := obs.Disable(); err != nil {
+			fatal(err)
+		}
+		for _, c := range closers {
+			if err := c.Close(); err != nil {
+				fatal(err)
 			}
-			bench.ExperimentFig7(w, cfg, true)
-		case "fig7b":
-			cfg := bench.DefaultFig7bConfig()
-			if *full {
-				cfg.N = 10
-				cfg.Bonds = []int{2, 4, 8, 12}
-			}
-			bench.ExperimentFig7(w, cfg, false)
-		case "fig8a":
-			cfg := bench.DefaultFig8aConfig()
-			if *full {
-				cfg.N = 8
-				cfg.Bonds = []int{2, 4, 8, 16}
-				cfg.ExactMax = 6
-			}
-			bench.ExperimentFig8(w, cfg, true)
-		case "fig8b":
-			cfg := bench.DefaultFig8bConfig()
-			if *full {
-				cfg.N = 10
-				cfg.Bonds = []int{2, 4, 8, 16}
-			}
-			bench.ExperimentFig8(w, cfg, false)
-		case "fig9":
-			cfg := bench.DefaultFig9Config()
-			if *full {
-				cfg.Sides = []int{2, 3, 4, 5, 6, 7, 8}
-				cfg.Bond = 3
-				cfg.M = 9
-			}
-			bench.ExperimentFig9(w, cfg)
-		case "fig10":
-			cfg := bench.DefaultFig10Config()
-			if *full {
-				cfg.Sides = []int{4, 5, 6}
-				cfg.Layers = 6
-				cfg.Ms = []int{1, 2, 4, 8, 16, 32, 64}
-			}
-			bench.ExperimentFig10(w, cfg)
-		case "fig11":
-			cfg := bench.DefaultFig11Config()
-			if *full {
-				cfg.N = 8
-				cfg.SmallBond = 6
-				cfg.LargeBond = 10
-			}
-			bench.ExperimentFig11(w, cfg)
-		case "fig12":
-			cfg := bench.DefaultFig12Config()
-			if *full {
-				cfg.BaseBond = 6
-				cfg.BaseM = 8
-			}
-			bench.ExperimentFig12(w, cfg)
-		case "fig13a":
-			cfg := bench.DefaultFig13Config()
-			if *full {
-				cfg.Steps = 150
-				cfg.Bonds = []int{1, 2, 3, 4}
-			}
-			bench.ExperimentFig13a(w, cfg)
-		case "fig13b":
-			cfg := bench.DefaultFig13Config()
-			if *full {
-				cfg.Steps = 150
-				cfg.Bonds = []int{1, 2, 3, 4, 5, 6}
-			}
-			bench.ExperimentFig13b(w, cfg)
-		case "fig14":
-			cfg := bench.DefaultFig14Config()
-			if *full {
-				cfg.Bonds = []int{1, 2, 3, 4}
-				cfg.MaxIter = 200
-			}
-			bench.ExperimentFig14(w, cfg)
-		case "ablation":
-			cfg := bench.AblationConfig{Seed: 11}
+		}
+	}
+}
+
+// suite maps an experiment name to its configuration (recorded in the
+// BENCH_<suite>.json Params field) and a runner. A nil runner means the
+// name is unknown.
+func suite(name string, full bool) (interface{}, func(io.Writer)) {
+	switch name {
+	case "table2":
+		cfg := bench.DefaultTable2Config()
+		if full {
+			cfg.N = 6
+			cfg.Bonds = []int{2, 3, 4, 5}
+			cfg.Ms = []int{4, 8, 16, 32, 64}
+		}
+		return cfg, func(w io.Writer) { bench.ExperimentTable2(w, cfg) }
+	case "fig7a":
+		cfg := bench.DefaultFig7aConfig()
+		if full {
+			cfg.N = 8
+			cfg.Bonds = []int{2, 4, 8, 12, 16}
+		}
+		return cfg, func(w io.Writer) { bench.ExperimentFig7(w, cfg, true) }
+	case "fig7b":
+		cfg := bench.DefaultFig7bConfig()
+		if full {
+			cfg.N = 10
+			cfg.Bonds = []int{2, 4, 8, 12}
+		}
+		return cfg, func(w io.Writer) { bench.ExperimentFig7(w, cfg, false) }
+	case "fig8a":
+		cfg := bench.DefaultFig8aConfig()
+		if full {
+			cfg.N = 8
+			cfg.Bonds = []int{2, 4, 8, 16}
+			cfg.ExactMax = 6
+		}
+		return cfg, func(w io.Writer) { bench.ExperimentFig8(w, cfg, true) }
+	case "fig8b":
+		cfg := bench.DefaultFig8bConfig()
+		if full {
+			cfg.N = 10
+			cfg.Bonds = []int{2, 4, 8, 16}
+		}
+		return cfg, func(w io.Writer) { bench.ExperimentFig8(w, cfg, false) }
+	case "fig9":
+		cfg := bench.DefaultFig9Config()
+		if full {
+			cfg.Sides = []int{2, 3, 4, 5, 6, 7, 8}
+			cfg.Bond = 3
+			cfg.M = 9
+		}
+		return cfg, func(w io.Writer) { bench.ExperimentFig9(w, cfg) }
+	case "fig10":
+		cfg := bench.DefaultFig10Config()
+		if full {
+			cfg.Sides = []int{4, 5, 6}
+			cfg.Layers = 6
+			cfg.Ms = []int{1, 2, 4, 8, 16, 32, 64}
+		}
+		return cfg, func(w io.Writer) { bench.ExperimentFig10(w, cfg) }
+	case "fig11":
+		cfg := bench.DefaultFig11Config()
+		if full {
+			cfg.N = 8
+			cfg.SmallBond = 6
+			cfg.LargeBond = 10
+		}
+		return cfg, func(w io.Writer) { bench.ExperimentFig11(w, cfg) }
+	case "fig12":
+		cfg := bench.DefaultFig12Config()
+		if full {
+			cfg.BaseBond = 6
+			cfg.BaseM = 8
+		}
+		return cfg, func(w io.Writer) { bench.ExperimentFig12(w, cfg) }
+	case "fig13a":
+		cfg := bench.DefaultFig13Config()
+		if full {
+			cfg.Steps = 150
+			cfg.Bonds = []int{1, 2, 3, 4}
+		}
+		return cfg, func(w io.Writer) { bench.ExperimentFig13a(w, cfg) }
+	case "fig13b":
+		cfg := bench.DefaultFig13Config()
+		if full {
+			cfg.Steps = 150
+			cfg.Bonds = []int{1, 2, 3, 4, 5, 6}
+		}
+		return cfg, func(w io.Writer) { bench.ExperimentFig13b(w, cfg) }
+	case "fig14":
+		cfg := bench.DefaultFig14Config()
+		if full {
+			cfg.Bonds = []int{1, 2, 3, 4}
+			cfg.MaxIter = 200
+		}
+		return cfg, func(w io.Writer) { bench.ExperimentFig14(w, cfg) }
+	case "ablation":
+		cfg := bench.AblationConfig{Seed: 11}
+		return cfg, func(w io.Writer) {
 			bench.ExperimentAblationRSVD(w, cfg)
 			fmt.Fprintf(w, "\n%s\n\n", divider)
 			bench.ExperimentAblationUpdate(w, cfg)
@@ -135,17 +232,33 @@ func main() {
 			bench.ExperimentAblationCanonical(w, cfg)
 			fmt.Fprintf(w, "\n%s\n\n", divider)
 			bench.ExperimentAblationWeighted(w, cfg)
-		default:
-			fmt.Fprintf(os.Stderr, "unknown experiment %q\n", name)
-			usage()
-			os.Exit(2)
 		}
 	}
+	return nil, nil
+}
+
+// timeIt and flopsOf mirror the internal/bench helpers for whole-suite
+// measurement.
+func timeIt(f func()) float64 {
+	start := time.Now()
+	f()
+	return time.Since(start).Seconds()
+}
+
+func flopsOf(f func()) int64 {
+	before := tensor.FlopCount()
+	f()
+	return tensor.FlopCount() - before
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "koala-bench:", err)
+	os.Exit(1)
 }
 
 const divider = "================================================================"
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: koala-bench [-full] <experiment>...
+	fmt.Fprintln(os.Stderr, `usage: koala-bench [-full] [-trace file] [-metrics file] [-json dir] <experiment>...
 experiments: table2 fig7a fig7b fig8a fig8b fig9 fig10 fig11 fig12 fig13a fig13b fig14 ablation | all`)
 }

@@ -11,8 +11,10 @@ import (
 	"fmt"
 	"log"
 	"math/rand"
+	"os"
 
 	"gokoala/internal/backend"
+	"gokoala/internal/cliutil"
 	"gokoala/internal/einsumsvd"
 	"gokoala/internal/ite"
 	"gokoala/internal/peps"
@@ -29,10 +31,14 @@ func main() {
 	tau := flag.Float64("tau", 0.05, "imaginary time step")
 	steps := flag.Int("steps", 60, "number of Trotter sweeps")
 	every := flag.Int("every", 10, "measure energy every k steps")
-	seed := flag.Int64("seed", 1, "random seed")
+	seed := cliutil.SeedFlag(1)
 	explicit := flag.Bool("explicit", false, "use explicit SVD (BMPS) instead of implicit randomized SVD (IBMPS)")
 	reference := flag.Bool("reference", true, "also compute the exact reference when the lattice is small enough")
+	oc := cliutil.ObsFlags()
 	flag.Parse()
+	if _, err := oc.Setup(); err != nil {
+		log.Fatal(err)
+	}
 
 	var obs *quantum.Observable
 	switch *model {
@@ -61,7 +67,7 @@ func main() {
 		fmt.Printf("exact ground state energy per site: %.6f\n", e/float64(n))
 	}
 
-	eng := backend.NewDense()
+	eng := backend.Instrument(backend.NewDense())
 	state := ite.PlusState(peps.ComputationalZeros(eng, *rows, *cols))
 	res := ite.Evolve(state, obs, ite.Options{
 		Tau:             *tau,
@@ -76,5 +82,8 @@ func main() {
 	fmt.Printf("ITE on %dx%d %s, r=%d m=%d tau=%g\n", *rows, *cols, *model, *r, mm, *tau)
 	for i, e := range res.Energies {
 		fmt.Printf("step %4d  energy/site %.6f\n", res.MeasuredAt[i], e)
+	}
+	if err := oc.Finish(os.Stdout); err != nil {
+		log.Fatal(err)
 	}
 }

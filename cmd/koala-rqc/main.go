@@ -12,10 +12,12 @@ import (
 	"fmt"
 	"log"
 	"math/rand"
+	"os"
 	"strconv"
 	"strings"
 
 	"gokoala/internal/backend"
+	"gokoala/internal/cliutil"
 	"gokoala/internal/einsumsvd"
 	"gokoala/internal/peps"
 	"gokoala/internal/rqc"
@@ -26,8 +28,12 @@ func main() {
 	layers := flag.Int("layers", 4, "circuit depth")
 	evolveRank := flag.Int("r", 0, "evolution bond cap (0 = exact)")
 	msFlag := flag.String("ms", "1,2,4,8,16", "comma-separated contraction bond dimensions")
-	seed := flag.Int64("seed", 7, "random seed")
+	seed := cliutil.SeedFlag(7)
+	oc := cliutil.ObsFlags()
 	flag.Parse()
+	if _, err := oc.Setup(); err != nil {
+		log.Fatal(err)
+	}
 
 	var ms []int
 	for _, s := range strings.Split(*msFlag, ",") {
@@ -42,7 +48,7 @@ func main() {
 	circ := rqc.Generate(rng, *n, *n, *layers)
 	fmt.Printf("RQC: %dx%d lattice, %d layers, %d gates\n", *n, *n, *layers, len(circ.Gates))
 
-	eng := backend.NewDense()
+	eng := backend.Instrument(backend.NewDense())
 	state := peps.ComputationalZeros(eng, *n, *n)
 	for _, g := range circ.Gates {
 		state.ApplyGate(g, peps.UpdateOptions{Rank: *evolveRank, Method: peps.UpdateQR})
@@ -61,5 +67,8 @@ func main() {
 			M: m, Strategy: einsumsvd.ImplicitRand{Rng: rand.New(rand.NewSource(*seed + int64(m)))},
 		}), exact)
 		fmt.Printf("%-6d %-14.3e %-14.3e\n", m, eb, ib)
+	}
+	if err := oc.Finish(os.Stdout); err != nil {
+		log.Fatal(err)
 	}
 }

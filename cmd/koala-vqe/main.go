@@ -9,8 +9,12 @@ package main
 import (
 	"flag"
 	"fmt"
+	"log"
 	"math/rand"
+	"os"
 
+	"gokoala/internal/backend"
+	"gokoala/internal/cliutil"
 	"gokoala/internal/quantum"
 	"gokoala/internal/statevector"
 	"gokoala/internal/vqe"
@@ -22,10 +26,14 @@ func main() {
 	layers := flag.Int("layers", 2, "ansatz layers")
 	r := flag.Int("r", 2, "PEPS bond dimension (0 = exact state vector)")
 	iters := flag.Int("iters", 50, "optimizer iterations")
-	seed := flag.Int64("seed", 1, "random seed")
+	seed := cliutil.SeedFlag(1)
 	jz := flag.Float64("jz", -1, "Ising coupling")
 	hx := flag.Float64("hx", -3.5, "transverse field")
+	oc := cliutil.ObsFlags()
 	flag.Parse()
+	if _, err := oc.Setup(); err != nil {
+		log.Fatal(err)
+	}
 
 	obs := quantum.TransverseFieldIsing(*rows, *cols, *jz, *hx)
 	n := (*rows) * (*cols)
@@ -39,6 +47,7 @@ func main() {
 		Rank:     *r,
 		MaxIter:  *iters,
 		Seed:     *seed,
+		Engine:   backend.Instrument(backend.NewDense()),
 		UseCache: true,
 	})
 	label := fmt.Sprintf("peps r=%d", *r)
@@ -51,5 +60,8 @@ func main() {
 		if (i+1)%5 == 0 || i == len(res.History)-1 {
 			fmt.Printf("iter %3d  best %.5f\n", i+1, e)
 		}
+	}
+	if err := oc.Finish(os.Stdout); err != nil {
+		log.Fatal(err)
 	}
 }

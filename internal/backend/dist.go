@@ -63,6 +63,11 @@ func (d *Dist) hooks() einsum.Hooks {
 	}
 }
 
+// Hooks exposes the einsum hooks that route a contraction's primitives
+// through the grid, so decorators (backend.Instrument) can chain their
+// own observers onto the same contraction.
+func (d *Dist) Hooks() einsum.Hooks { return d.hooks() }
+
 func (d *Dist) Einsum(spec string, ops ...*tensor.Dense) *tensor.Dense {
 	out, err := einsum.ContractWithHooks(spec, ops, d.hooks())
 	if err != nil {

@@ -1,0 +1,164 @@
+package backend
+
+import (
+	"gokoala/internal/dist"
+	"gokoala/internal/einsum"
+	"gokoala/internal/obs"
+	"gokoala/internal/tensor"
+)
+
+// Obs counter names fed by the instrumented engine (registered once).
+var (
+	obsGEMMFlops = obs.NewCounter("einsum.gemm.flops")
+	obsGEMMCalls = obs.NewCounter("einsum.gemm.calls")
+	obsMoveElems = obs.NewCounter("einsum.move.elements")
+	obsMoveBytes = obs.NewCounter("einsum.move.bytes")
+	obsContracts = obs.NewCounter("einsum.contractions")
+)
+
+// Instrumented decorates an Engine with obs spans and counters: every
+// kernel call becomes a span (einsum, backend.qrsplit, backend.truncsvd,
+// backend.orth), einsum's GEMM/move hooks feed the einsum.* counters,
+// each batched GEMM gets its own child span, and — when the inner engine
+// is a *Dist — every span is annotated with the machine-model deltas of
+// the region (modeled seconds, communication bytes), so modeled time
+// appears alongside measured time in traces and summaries.
+//
+// While obs is disabled every method delegates straight to the inner
+// engine after one atomic load, so wrapping is free on hot paths.
+type Instrumented struct {
+	inner Engine
+	grid  *dist.Grid // nil unless inner is a *Dist
+}
+
+// Instrument wraps an engine with observability instrumentation.
+// Wrapping an already-instrumented engine returns it unchanged.
+func Instrument(e Engine) Engine {
+	if ie, ok := e.(*Instrumented); ok {
+		return ie
+	}
+	ie := &Instrumented{inner: e}
+	if d, ok := e.(*Dist); ok {
+		ie.grid = d.Grid
+	}
+	return ie
+}
+
+// Unwrap returns the engine beneath the instrumentation.
+func (ie *Instrumented) Unwrap() Engine { return ie.inner }
+
+func (ie *Instrumented) Name() string { return ie.inner.Name() }
+
+// statsBefore snapshots the grid accounting when there is a grid.
+func (ie *Instrumented) statsBefore() dist.Stats {
+	if ie.grid == nil {
+		return dist.Stats{}
+	}
+	return ie.grid.Snapshot()
+}
+
+// annotate attaches the grid's machine-model delta for the region to the
+// span, putting modeled seconds next to the span's measured duration.
+func (ie *Instrumented) annotate(sp *obs.Span, before dist.Stats) {
+	if sp == nil || ie.grid == nil {
+		return
+	}
+	d := ie.grid.Snapshot().Sub(before)
+	sp.SetFloat("modeled_s", d.ModeledSeconds())
+	sp.SetFloat("modeled_comm_s", d.CommSeconds())
+	sp.SetInt("comm_bytes", d.Bytes)
+}
+
+// obsHooks returns einsum hooks that count primitives and emit a child
+// span per batched GEMM. kernel is the multiply that actually runs
+// (the grid SPMD kernel for Dist, the sequential kernel for Dense).
+func obsHooks(kernel func(a, b *tensor.Dense) *tensor.Dense) einsum.Hooks {
+	return einsum.Hooks{
+		OnGEMM: func(batch, m, n, k int) {
+			obsGEMMFlops.Add(einsum.FlopCount(batch, m, n, k))
+			obsGEMMCalls.Add(1)
+		},
+		OnMove: func(elements int) {
+			obsMoveElems.Add(int64(elements))
+			obsMoveBytes.Add(int64(elements) * bytesPerElem)
+		},
+		GEMM: func(a, b *tensor.Dense) *tensor.Dense {
+			sp := obs.Start("einsum.gemm")
+			out := kernel(a, b)
+			sp.End()
+			return out
+		},
+	}
+}
+
+func (ie *Instrumented) Einsum(spec string, ops ...*tensor.Dense) *tensor.Dense {
+	if !obs.Enabled() {
+		return ie.inner.Einsum(spec, ops...)
+	}
+	sp := obs.Start("einsum").SetStr("spec", spec)
+	before := ie.statsBefore()
+	obsContracts.Add(1)
+	var hooks einsum.Hooks
+	switch e := ie.inner.(type) {
+	case *Dist:
+		// Chain the distributed engine's metering hooks with the obs
+		// observers; the GEMM child span wraps the grid SPMD kernel.
+		oh := obsHooks(e.Grid.BatchMatMul)
+		hooks = oh.Chain(e.Hooks())
+	case *Dense:
+		hooks = obsHooks(tensor.BatchMatMul)
+	default:
+		// Unknown engine: time the call but let it run its own path.
+		out := e.Einsum(spec, ops...)
+		ie.annotate(sp, before)
+		sp.End()
+		return out
+	}
+	out, err := einsum.ContractWithHooks(spec, ops, hooks)
+	if err != nil {
+		sp.End()
+		panic("backend: " + err.Error())
+	}
+	ie.annotate(sp, before)
+	sp.End()
+	return out
+}
+
+func (ie *Instrumented) QRSplit(t *tensor.Dense, leftAxes int) (*tensor.Dense, *tensor.Dense) {
+	if !obs.Enabled() {
+		return ie.inner.QRSplit(t, leftAxes)
+	}
+	sp := obs.Start("backend.qrsplit")
+	before := ie.statsBefore()
+	q, r := ie.inner.QRSplit(t, leftAxes)
+	ie.annotate(sp, before)
+	sp.End()
+	return q, r
+}
+
+func (ie *Instrumented) TruncSVD(m *tensor.Dense, rank int) (*tensor.Dense, []float64, *tensor.Dense) {
+	if !obs.Enabled() {
+		return ie.inner.TruncSVD(m, rank)
+	}
+	sp := obs.Start("backend.truncsvd")
+	before := ie.statsBefore()
+	u, s, v := ie.inner.TruncSVD(m, rank)
+	// Record the rank actually kept, not the requested cap (callers pass
+	// a huge sentinel for "exact"), so summary sums stay meaningful.
+	sp.SetInt("rank", int64(len(s)))
+	ie.annotate(sp, before)
+	sp.End()
+	return u, s, v
+}
+
+func (ie *Instrumented) Orth(x *tensor.Dense) *tensor.Dense {
+	if !obs.Enabled() {
+		return ie.inner.Orth(x)
+	}
+	sp := obs.Start("backend.orth")
+	before := ie.statsBefore()
+	q := ie.inner.Orth(x)
+	ie.annotate(sp, before)
+	sp.End()
+	return q
+}

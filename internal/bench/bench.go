@@ -150,19 +150,25 @@ func evolutionWorkload(eng backend.Engine, seed int64, n, bond int, opts peps.Up
 	return func() { tebdLayer(state.Clone(), gate, opts) }
 }
 
+// denseEngine returns the sequential engine wrapped with obs
+// instrumentation (a no-op passthrough while tracing is off), so every
+// experiment feeds spans and counters when cmd/koala-bench enables
+// collection.
+func denseEngine() backend.Engine { return backend.Instrument(backend.NewDense()) }
+
 // engineSet returns the named engines of the evolution benchmarks
 // (paper Figure 7): the dense (NumPy-analog) engine and the three
 // Cyclops-analog variants, each with its own grid so modeled costs are
-// attributable.
+// attributable. All engines carry obs instrumentation.
 func engineSet(ranks int) (map[string]backend.Engine, map[string]*dist.Grid) {
 	g1 := dist.NewGrid(dist.Stampede2(ranks))
 	g2 := dist.NewGrid(dist.Stampede2(ranks))
 	g3 := dist.NewGrid(dist.Stampede2(ranks))
 	engines := map[string]backend.Engine{
-		"dense-qr-svd":           backend.NewDense(),
-		"dist-qr-svd":            backend.NewDist(g1, false),
-		"dist-local-gram-qr":     backend.NewDist(g2, true),
-		"dist-local-gram-qr-svd": &backend.Dist{Grid: g3, UseGram: true, LocalSVD: true},
+		"dense-qr-svd":           denseEngine(),
+		"dist-qr-svd":            backend.Instrument(backend.NewDist(g1, false)),
+		"dist-local-gram-qr":     backend.Instrument(backend.NewDist(g2, true)),
+		"dist-local-gram-qr-svd": backend.Instrument(&backend.Dist{Grid: g3, UseGram: true, LocalSVD: true}),
 	}
 	grids := map[string]*dist.Grid{
 		"dist-qr-svd":            g1,

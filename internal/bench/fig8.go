@@ -53,9 +53,9 @@ func ExperimentFig8(w io.Writer, cfg Fig8Config, dense bool) {
 		grid := dist.NewGrid(dist.Stampede2(cfg.Ranks))
 		rows := []engineRow{}
 		if dense {
-			rows = append(rows, engineRow{"dense", backend.NewDense(), nil})
+			rows = append(rows, engineRow{"dense", denseEngine(), nil})
 		}
-		rows = append(rows, engineRow{"dist-gram", backend.NewDist(grid, true), grid})
+		rows = append(rows, engineRow{"dist-gram", backend.Instrument(backend.NewDist(grid, true)), grid})
 		return rows
 	}
 

@@ -5,7 +5,6 @@ import (
 	"io"
 	"math/rand"
 
-	"gokoala/internal/backend"
 	"gokoala/internal/peps"
 	"gokoala/internal/quantum"
 	"gokoala/internal/tensor"
@@ -54,7 +53,7 @@ func fullNeighborObservable(n int) *quantum.Observable {
 // strip contraction.
 func ExperimentFig9(w io.Writer, cfg Fig9Config) {
 	fmt.Fprintf(w, "Figure 9: expectation value with/without caching, bond %d, m=%d\n\n", cfg.Bond, cfg.M)
-	eng := backend.NewDense()
+	eng := denseEngine()
 	t := NewTable("side", "terms", "cached_s", "uncached_s", "speedup")
 	for _, n := range cfg.Sides {
 		rng := rand.New(rand.NewSource(cfg.Seed))

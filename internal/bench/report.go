@@ -1,0 +1,53 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"gokoala/internal/obs"
+)
+
+// SuiteResult is the machine-readable record koala-bench emits per
+// experiment when -json is given: one BENCH_<suite>.json per suite, so
+// downstream tooling (regression trackers, plotting scripts) can diff
+// runs without scraping the text tables.
+type SuiteResult struct {
+	// Suite is the experiment name as passed on the command line
+	// (e.g. "table2", "fig7a").
+	Suite string `json:"suite"`
+	// Params records the configuration the suite ran with.
+	Params interface{} `json:"params,omitempty"`
+	// WallSeconds is the measured wall-clock time of the whole suite.
+	WallSeconds float64 `json:"wall_seconds"`
+	// ModeledSeconds is the machine-model time accumulated by the
+	// simulated distributed runtime during the suite (computation plus
+	// communication), zero for dense-only suites.
+	ModeledSeconds float64 `json:"modeled_seconds"`
+	// Flops is the complex-flop count charged to the global tensor
+	// counter during the suite.
+	Flops int64 `json:"flops"`
+	// CommBytes is the modeled communication volume.
+	CommBytes int64 `json:"comm_bytes"`
+}
+
+// CollectSuiteMetrics fills the obs-derived fields of a SuiteResult from
+// the current counter registry. Call it after the suite ran and before
+// obs.ResetCounters.
+func CollectSuiteMetrics(res *SuiteResult) {
+	res.ModeledSeconds = obs.MetricValueOf("dist.modeled.comm_seconds") +
+		obs.MetricValueOf("dist.modeled.comp_seconds")
+	res.CommBytes = int64(obs.MetricValueOf("dist.comm.bytes"))
+}
+
+// WriteBenchJSON writes res as dir/BENCH_<suite>.json (indented, with a
+// trailing newline) and returns the path written.
+func WriteBenchJSON(dir string, res SuiteResult) (string, error) {
+	data, err := json.MarshalIndent(res, "", "  ")
+	if err != nil {
+		return "", err
+	}
+	path := filepath.Join(dir, fmt.Sprintf("BENCH_%s.json", res.Suite))
+	return path, os.WriteFile(path, append(data, '\n'), 0o644)
+}

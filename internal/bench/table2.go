@@ -5,7 +5,6 @@ import (
 	"io"
 	"math/rand"
 
-	"gokoala/internal/backend"
 	"gokoala/internal/peps"
 )
 
@@ -34,7 +33,7 @@ func DefaultTable2Config() Table2Config {
 // terms, and the BMPS/IBMPS flop ratios that quantify the asymptotic
 // advantage.
 func ExperimentTable2(w io.Writer, cfg Table2Config) {
-	eng := backend.NewDense()
+	eng := denseEngine()
 	rng := rand.New(rand.NewSource(cfg.Seed))
 
 	methods := []struct {

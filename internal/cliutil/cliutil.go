@@ -1,0 +1,90 @@
+// Package cliutil holds the flag helpers shared by the koala command
+// line tools, so every binary exposes the same seeding and
+// observability surface: -seed, -trace (Chrome trace_event file for
+// chrome://tracing or Perfetto), and -metrics (JSON-lines span/metrics
+// log). See DESIGN.md "Observability" for the file formats.
+package cliutil
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"gokoala/internal/obs"
+)
+
+// SeedFlag registers the standard -seed flag with the given default.
+func SeedFlag(def int64) *int64 {
+	return flag.Int64("seed", def, "random seed")
+}
+
+// ObsConfig carries the shared observability flags. Zero value is
+// inert; construct with ObsFlags before flag.Parse.
+type ObsConfig struct {
+	trace   *string
+	metrics *string
+	files   []*os.File
+	on      bool
+}
+
+// ObsFlags registers the shared -trace and -metrics flags.
+func ObsFlags() *ObsConfig {
+	return &ObsConfig{
+		trace:   flag.String("trace", "", "write a Chrome trace_event JSON file"),
+		metrics: flag.String("metrics", "", "write a JSON-lines span/metrics log"),
+	}
+}
+
+// Setup enables span collection when either flag was given. Call once
+// after flag.Parse; returns whether collection is on.
+func (c *ObsConfig) Setup() (bool, error) {
+	if *c.trace != "" && *c.trace == *c.metrics {
+		return false, fmt.Errorf("-trace and -metrics must name different files")
+	}
+	var sinks []obs.Sink
+	if *c.trace != "" {
+		f, err := os.Create(*c.trace)
+		if err != nil {
+			return false, err
+		}
+		c.files = append(c.files, f)
+		sinks = append(sinks, obs.NewChromeTraceSink(f))
+	}
+	if *c.metrics != "" {
+		f, err := os.Create(*c.metrics)
+		if err != nil {
+			return false, err
+		}
+		c.files = append(c.files, f)
+		sinks = append(sinks, obs.NewJSONLSink(f))
+	}
+	if len(sinks) > 0 {
+		obs.Enable(sinks...)
+		c.on = true
+	}
+	return c.on, nil
+}
+
+// Finish writes the per-phase summary and counters to w (when non-nil),
+// flushes the sinks, and closes the output files. No-op when collection
+// is off.
+func (c *ObsConfig) Finish(w io.Writer) error {
+	if !c.on {
+		return nil
+	}
+	if w != nil {
+		fmt.Fprintln(w, "\n-- phase breakdown --")
+		obs.WriteSummary(w)
+		obs.WriteMetrics(w)
+	}
+	if err := obs.Disable(); err != nil {
+		return err
+	}
+	for _, f := range c.files {
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -127,6 +127,7 @@ func (g *Grid) addComm(msgs int64, bytes int64, latSecs, bwSecs float64, class b
 		g.bwSmall += bwSecs
 	}
 	g.mu.Unlock()
+	observeComm(msgs, bytes, latSecs+bwSecs)
 }
 
 // Allgather meters an allgather of totalBytes aggregate payload.
@@ -157,6 +158,7 @@ func (g *Grid) AllToAll(totalBytes int64) {
 	g.mu.Lock()
 	g.redistCount++
 	g.mu.Unlock()
+	obsRedists.Add(1)
 	lat, bw := g.Machine.alltoallSeconds(totalBytes)
 	g.addComm(int64(g.Machine.Ranks)*int64(g.Machine.Ranks-1), totalBytes, lat, bw, bwClassBig)
 }
@@ -190,10 +192,12 @@ func log2msgs(p int) int64 {
 
 // ParallelFlops credits flops that are evenly distributed over the ranks.
 func (g *Grid) ParallelFlops(n int64) {
+	secs := g.Machine.Gamma * float64(n) / float64(g.Machine.Ranks)
 	g.mu.Lock()
 	g.parFlops += n
-	g.compSecs += g.Machine.Gamma * float64(n) / float64(g.Machine.Ranks)
+	g.compSecs += secs
 	g.mu.Unlock()
+	observeComp(secs)
 }
 
 // Sequential runs f, measuring the flops it adds to the global tensor
@@ -214,14 +218,16 @@ func (g *Grid) PartialParallel(eff int, f func()) {
 	before := tensor.FlopCount()
 	f()
 	delta := tensor.FlopCount() - before
+	secs := g.Machine.Gamma * float64(delta) / float64(eff)
 	g.mu.Lock()
 	if eff == 1 {
 		g.seqFlops += delta
 	} else {
 		g.parFlops += delta
 	}
-	g.compSecs += g.Machine.Gamma * float64(delta) / float64(eff)
+	g.compSecs += secs
 	g.mu.Unlock()
+	observeComp(secs)
 }
 
 const bytesPerElem = 16 // complex128

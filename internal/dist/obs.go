@@ -1,0 +1,67 @@
+package dist
+
+import (
+	"gokoala/internal/obs"
+)
+
+// Bridge from the grid's alpha-beta-gamma accounting into the obs
+// metrics layer: every metered collective and flop credit also advances
+// the global dist.* counters (no-ops while obs is disabled), and
+// TraceRegion turns a Stats delta into span annotations so modeled
+// seconds appear next to measured seconds in traces and phase summaries.
+var (
+	obsCommMsgs  = obs.NewCounter("dist.comm.msgs")
+	obsCommBytes = obs.NewCounter("dist.comm.bytes")
+	obsRedists   = obs.NewCounter("dist.redistributions")
+	obsCommSecs  = obs.NewFloatCounter("dist.modeled.comm_seconds")
+	obsCompSecs  = obs.NewFloatCounter("dist.modeled.comp_seconds")
+)
+
+// observeComm mirrors one addComm call into the obs counters.
+func observeComm(msgs, bytes int64, secs float64) {
+	if !obs.Enabled() {
+		return
+	}
+	obsCommMsgs.Add(msgs)
+	obsCommBytes.Add(bytes)
+	obsCommSecs.Add(secs)
+}
+
+// observeComp mirrors modeled compute seconds into the obs counters.
+func observeComp(secs float64) {
+	if !obs.Enabled() {
+		return
+	}
+	obsCompSecs.Add(secs)
+}
+
+// AnnotateSpan attaches the Stats delta since before to the span: the
+// modeled wall seconds, their communication/computation split, and the
+// measured message/byte counts of the region.
+func (g *Grid) AnnotateSpan(sp *obs.Span, before Stats) {
+	if sp == nil {
+		return
+	}
+	d := g.Snapshot().Sub(before)
+	sp.SetFloat("modeled_s", d.ModeledSeconds())
+	sp.SetFloat("modeled_comm_s", d.CommSeconds())
+	sp.SetFloat("modeled_comp_s", d.CompSeconds)
+	sp.SetInt("comm_bytes", d.Bytes)
+	sp.SetInt("comm_msgs", d.Msgs)
+	sp.SetInt("redistributions", d.Redistributions)
+}
+
+// TraceRegion runs f inside a span named name, annotated with the grid's
+// machine-model delta for the region. While obs is disabled it just
+// calls f.
+func (g *Grid) TraceRegion(name string, f func()) {
+	if !obs.Enabled() {
+		f()
+		return
+	}
+	sp := obs.Start(name)
+	before := g.Snapshot()
+	f()
+	g.AnnotateSpan(sp, before)
+	sp.End()
+}

@@ -1,0 +1,149 @@
+package einsum
+
+import (
+	"math/rand"
+	"testing"
+
+	"gokoala/internal/tensor"
+)
+
+func TestFlopCountHelper(t *testing.T) {
+	if got := FlopCount(1, 2, 3, 4); got != 24 {
+		t.Fatalf("FlopCount(1,2,3,4) = %d want 24", got)
+	}
+	if got := FlopCount(5, 2, 3, 4); got != 120 {
+		t.Fatalf("FlopCount(5,2,3,4) = %d want 120", got)
+	}
+	// Large dims must not overflow int.
+	if got := FlopCount(1, 1<<20, 1<<20, 1<<20); got != 1<<60 {
+		t.Fatalf("FlopCount(1,2^20,2^20,2^20) = %d want 2^60", got)
+	}
+}
+
+// TestOnContractHandCounted checks the per-contraction cost totals
+// against hand-counted small contractions.
+func TestOnContractHandCounted(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	cases := []struct {
+		spec      string
+		shapes    [][]int
+		wantFlops int64
+	}{
+		// One GEMM: (2x3) @ (3x4) = 2*4*3 multiply-adds.
+		{"ab,bc->ac", [][]int{{2, 3}, {3, 4}}, 2 * 4 * 3},
+		// Matrix-vector: (5x7) @ (7) = 5*7.
+		{"ab,b->a", [][]int{{5, 7}, {7}}, 5 * 7},
+		// Batched: shared letter a (dim 2) is a batch axis;
+		// per-slice (3x4)@(4x5) = 3*5*4, times 2 batches.
+		{"abc,acd->abd", [][]int{{2, 3, 4}, {2, 4, 5}}, 2 * 3 * 5 * 4},
+		// Three operands, greedy order: dims a=2,b=3,c=4,d=5.
+		// Cheapest pair is ab,bc (cost 2*3*4=24) -> GEMM 2*4*3 = 24 flops
+		// giving ac; then ac,cd -> GEMM 2*5*4 = 40 flops. Total 64.
+		{"ab,bc,cd->ad", [][]int{{2, 3}, {3, 4}, {4, 5}}, 64},
+	}
+	for _, tc := range cases {
+		ops := make([]*tensor.Dense, len(tc.shapes))
+		for i, sh := range tc.shapes {
+			ops[i] = tensor.Rand(rng, sh...)
+		}
+		var got Cost
+		var calls int
+		_, err := ContractWithHooks(tc.spec, ops, Hooks{
+			OnContract: func(spec string, c Cost) {
+				if spec != tc.spec {
+					t.Errorf("OnContract spec = %q want %q", spec, tc.spec)
+				}
+				got = c
+				calls++
+			},
+		})
+		if err != nil {
+			t.Fatalf("%s: %v", tc.spec, err)
+		}
+		if calls != 1 {
+			t.Fatalf("%s: OnContract called %d times, want 1", tc.spec, calls)
+		}
+		if got.Flops != tc.wantFlops {
+			t.Errorf("%s: flops = %d want %d", tc.spec, got.Flops, tc.wantFlops)
+		}
+		if got.GEMMs < 1 {
+			t.Errorf("%s: GEMMs = %d want >= 1", tc.spec, got.GEMMs)
+		}
+	}
+}
+
+// TestOnContractMatchesOnGEMM cross-checks the aggregate against the
+// per-GEMM observer on a nontrivial network.
+func TestOnContractMatchesOnGEMM(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	a := tensor.Rand(rng, 2, 3, 4)
+	b := tensor.Rand(rng, 4, 5)
+	c := tensor.Rand(rng, 5, 3)
+	var fromGEMMs int64
+	var total Cost
+	_, err := ContractWithHooks("abc,cd,db->a", []*tensor.Dense{a, b, c}, Hooks{
+		OnGEMM:     func(batch, m, n, k int) { fromGEMMs += FlopCount(batch, m, n, k) },
+		OnContract: func(_ string, cost Cost) { total = cost },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fromGEMMs == 0 {
+		t.Fatal("no GEMMs observed")
+	}
+	if total.Flops != fromGEMMs {
+		t.Fatalf("OnContract flops %d != sum of OnGEMM %d", total.Flops, fromGEMMs)
+	}
+}
+
+func TestHooksChain(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	a := tensor.Rand(rng, 3, 4)
+	b := tensor.Rand(rng, 4, 5)
+	var g1, g2, m1, m2 int
+	var kernelCalls int
+	h1 := Hooks{
+		OnGEMM: func(batch, m, n, k int) { g1++ },
+		OnMove: func(int) { m1++ },
+		GEMM: func(x, y *tensor.Dense) *tensor.Dense {
+			kernelCalls++
+			return tensor.BatchMatMul(x, y)
+		},
+	}
+	h2 := Hooks{
+		OnGEMM: func(batch, m, n, k int) { g2++ },
+		OnMove: func(int) { m2++ },
+	}
+	out, err := ContractWithHooks("ab,bc->ca", []*tensor.Dense{a, b}, h1.Chain(h2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := MustContract("ab,bc->ca", a, b)
+	if !tensor.AllClose(out, want, 1e-12, 1e-12) {
+		t.Fatal("chained hooks changed the result")
+	}
+	if g1 != g2 || g1 == 0 {
+		t.Fatalf("OnGEMM chain mismatch: %d vs %d", g1, g2)
+	}
+	if m1 != m2 {
+		t.Fatalf("OnMove chain mismatch: %d vs %d", m1, m2)
+	}
+	if kernelCalls != g1 {
+		t.Fatalf("replacement kernel ran %d times for %d GEMMs", kernelCalls, g1)
+	}
+}
+
+// BenchmarkContract is the tracing-off overhead reference: the einsum
+// hot path with no hooks installed must not regress when obs is wired in
+// above it.
+func BenchmarkContract(b *testing.B) {
+	rng := rand.New(rand.NewSource(6))
+	x := tensor.Rand(rng, 8, 16, 8)
+	y := tensor.Rand(rng, 8, 8, 16)
+	z := tensor.Rand(rng, 8, 16)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		MustContract("abc,cdb,de->ae", x, y, z)
+	}
+}

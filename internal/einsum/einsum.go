@@ -20,7 +20,7 @@ import (
 )
 
 // Hooks observe the primitive operations a contraction decomposes into.
-// Either field may be nil.
+// Any field may be nil.
 type Hooks struct {
 	// OnGEMM is called once per batched matrix multiply with the batch
 	// count and the m, n, k dimensions of each multiply in the batch.
@@ -28,11 +28,73 @@ type Hooks struct {
 	// OnMove is called with the element count of every materializing
 	// transpose (axis reordering that physically moves data).
 	OnMove func(elements int)
+	// OnContract is called once per top-level contraction with the spec
+	// and the aggregate cost of every primitive it decomposed into, so
+	// callers get per-contraction totals without reimplementing the GEMM
+	// arithmetic.
+	OnContract func(spec string, cost Cost)
 	// GEMM, when non-nil, replaces the default batched matrix multiply.
 	// Operands have shapes [bt, m, k] and [bt, k, n]; the result must have
 	// shape [bt, m, n]. The simulated distributed backend routes the
 	// computation through its SPMD kernel this way.
 	GEMM func(a, b *tensor.Dense) *tensor.Dense
+}
+
+// Cost is the aggregate primitive-operation cost of one contraction.
+type Cost struct {
+	// Flops is the complex multiply-add count of every batched GEMM
+	// (sum-out reductions are not included; they are lower order).
+	Flops int64
+	// MovedElements is the element count of every materializing
+	// transpose that relocates data across the leading axis.
+	MovedElements int64
+	// GEMMs is the number of batched GEMM calls.
+	GEMMs int
+}
+
+// FlopCount returns the complex multiply-add count of one batched GEMM
+// with the given batch count and per-multiply m, n, k dimensions — the
+// arithmetic OnGEMM observers would otherwise reimplement.
+func FlopCount(batch, m, n, k int) int64 {
+	return int64(batch) * int64(m) * int64(n) * int64(k)
+}
+
+// Chain returns hooks that invoke both h's and g's observers for every
+// primitive. The replacement GEMM kernel is h's when set, else g's
+// (kernels execute the multiply, so only one can run).
+func (h Hooks) Chain(g Hooks) Hooks {
+	out := Hooks{GEMM: h.GEMM}
+	if out.GEMM == nil {
+		out.GEMM = g.GEMM
+	}
+	switch {
+	case h.OnGEMM != nil && g.OnGEMM != nil:
+		hf, gf := h.OnGEMM, g.OnGEMM
+		out.OnGEMM = func(batch, m, n, k int) { hf(batch, m, n, k); gf(batch, m, n, k) }
+	case h.OnGEMM != nil:
+		out.OnGEMM = h.OnGEMM
+	default:
+		out.OnGEMM = g.OnGEMM
+	}
+	switch {
+	case h.OnMove != nil && g.OnMove != nil:
+		hf, gf := h.OnMove, g.OnMove
+		out.OnMove = func(elements int) { hf(elements); gf(elements) }
+	case h.OnMove != nil:
+		out.OnMove = h.OnMove
+	default:
+		out.OnMove = g.OnMove
+	}
+	switch {
+	case h.OnContract != nil && g.OnContract != nil:
+		hf, gf := h.OnContract, g.OnContract
+		out.OnContract = func(spec string, cost Cost) { hf(spec, cost); gf(spec, cost) }
+	case h.OnContract != nil:
+		out.OnContract = h.OnContract
+	default:
+		out.OnContract = g.OnContract
+	}
+	return out
 }
 
 // Contract evaluates the einsum spec over the operands and returns the
@@ -54,6 +116,25 @@ func MustContract(spec string, ops ...*tensor.Dense) *tensor.Dense {
 // ContractWithHooks evaluates the spec, reporting primitive operations to
 // the provided hooks.
 func ContractWithHooks(spec string, ops []*tensor.Dense, h Hooks) (*tensor.Dense, error) {
+	if h.OnContract != nil {
+		// Accumulate primitive costs through chained observers and report
+		// the per-contraction total once at the end.
+		var cost Cost
+		acc := Hooks{
+			OnGEMM: func(batch, m, n, k int) {
+				cost.Flops += FlopCount(batch, m, n, k)
+				cost.GEMMs++
+			},
+			OnMove: func(elements int) { cost.MovedElements += int64(elements) },
+		}
+		inner := h
+		inner.OnContract = nil
+		out, err := ContractWithHooks(spec, ops, acc.Chain(inner))
+		if err == nil {
+			h.OnContract(spec, cost)
+		}
+		return out, err
+	}
 	inputs, output, err := parseSpec(spec, len(ops))
 	if err != nil {
 		return nil, err

@@ -6,7 +6,16 @@ import (
 	"math/cmplx"
 	"sort"
 
+	"gokoala/internal/obs"
 	"gokoala/internal/tensor"
+)
+
+// Truncation observability: every truncated SVD records how much
+// spectral weight it discarded (the per-truncation accuracy knob the
+// paper's m sweeps trade against time) and how many truncations ran.
+var (
+	obsSVDCalls      = obs.NewCounter("svd.truncations")
+	obsSVDTruncError = obs.NewGauge("svd.trunc_error")
 )
 
 // svdFlops is the standard LAPACK-equivalent complex-flop estimate for a
@@ -188,6 +197,10 @@ func TruncatedSVD(a *tensor.Dense, rank int) (u *tensor.Dense, s []float64, v *t
 	k := min(rank, len(sf))
 	if k <= 0 {
 		panic(fmt.Sprintf("linalg: TruncatedSVD rank %d invalid", rank))
+	}
+	if obs.Enabled() {
+		obsSVDCalls.Add(1)
+		obsSVDTruncError.Set(TruncError(sf, k))
 	}
 	return sliceCols(uf, k), sf[:k], sliceCols(vf, k)
 }

@@ -3,6 +3,7 @@ package mps
 import (
 	"gokoala/internal/backend"
 	"gokoala/internal/einsumsvd"
+	"gokoala/internal/obs"
 	"gokoala/internal/tensor"
 )
 
@@ -20,6 +21,8 @@ func (s *MPS) BondDims() []int {
 // A[l,p,b] = delta_{ab}), with the state's norm concentrated in the last
 // site. Produced by a left-to-right QR sweep.
 func CanonicalizeLeft(eng backend.Engine, s *MPS) *MPS {
+	sp := obs.Start("mps.canonicalize").SetStr("direction", "left")
+	defer sp.End()
 	n := s.Len()
 	out := make([]*tensor.Dense, n)
 	carry := s.Sites[0]
@@ -35,6 +38,8 @@ func CanonicalizeLeft(eng backend.Engine, s *MPS) *MPS {
 // CanonicalizeRight is the mirror image: every site except the first is a
 // right isometry, produced by a right-to-left sweep.
 func CanonicalizeRight(eng backend.Engine, s *MPS) *MPS {
+	sp := obs.Start("mps.canonicalize").SetStr("direction", "right")
+	defer sp.End()
 	n := s.Len()
 	out := make([]*tensor.Dense, n)
 	carry := s.Sites[n-1]
@@ -58,6 +63,8 @@ func CompressCanonical(eng backend.Engine, s *MPS, m int) *MPS {
 	if n == 1 {
 		return s.Clone()
 	}
+	sp := obs.Start("mps.compress").SetStr("mode", "canonical").SetInt("m", int64(m))
+	defer sp.End()
 	lc := CanonicalizeLeft(eng, s)
 	out := make([]*tensor.Dense, n)
 	carry := lc.Sites[n-1]

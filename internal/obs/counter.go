@@ -1,0 +1,184 @@
+package obs
+
+import (
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Counters and gauges are registered once (package init of the
+// instrumented layer) and incremented from hot paths, including
+// concurrent rank goroutines; increments are a single atomic op and are
+// skipped entirely while collection is disabled.
+
+var registry struct {
+	mu       sync.Mutex
+	counters []*Counter
+	floats   []*FloatCounter
+	gauges   []*Gauge
+}
+
+// Counter is a monotonically increasing integer metric (flops, bytes
+// moved, GEMM calls, messages).
+type Counter struct {
+	name string
+	v    atomic.Int64
+}
+
+// NewCounter registers and returns a counter. Registering the same name
+// twice returns distinct counters whose values are reported separately;
+// callers should register at package init so names stay unique.
+func NewCounter(name string) *Counter {
+	c := &Counter{name: name}
+	registry.mu.Lock()
+	registry.counters = append(registry.counters, c)
+	registry.mu.Unlock()
+	return c
+}
+
+// Add increments the counter by n when collection is enabled.
+func (c *Counter) Add(n int64) {
+	if !enabled.Load() {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Name returns the counter's registered name.
+func (c *Counter) Name() string { return c.name }
+
+// FloatCounter is a monotonically increasing float metric (modeled
+// seconds). Adds are lock-free compare-and-swap on the bit pattern.
+type FloatCounter struct {
+	name string
+	bits atomic.Uint64
+}
+
+// NewFloatCounter registers and returns a float counter.
+func NewFloatCounter(name string) *FloatCounter {
+	c := &FloatCounter{name: name}
+	registry.mu.Lock()
+	registry.floats = append(registry.floats, c)
+	registry.mu.Unlock()
+	return c
+}
+
+// Add increments the counter by v when collection is enabled.
+func (c *FloatCounter) Add(v float64) {
+	if !enabled.Load() {
+		return
+	}
+	for {
+		old := c.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if c.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Value returns the current value.
+func (c *FloatCounter) Value() float64 { return math.Float64frombits(c.bits.Load()) }
+
+// Name returns the counter's registered name.
+func (c *FloatCounter) Name() string { return c.name }
+
+// Gauge is a last-value float metric (SVD truncation error, current
+// boundary bond dimension).
+type Gauge struct {
+	name string
+	bits atomic.Uint64
+	set  atomic.Bool
+}
+
+// NewGauge registers and returns a gauge.
+func NewGauge(name string) *Gauge {
+	g := &Gauge{name: name}
+	registry.mu.Lock()
+	registry.gauges = append(registry.gauges, g)
+	registry.mu.Unlock()
+	return g
+}
+
+// Set records v as the gauge's current value when collection is enabled.
+func (g *Gauge) Set(v float64) {
+	if !enabled.Load() {
+		return
+	}
+	g.bits.Store(math.Float64bits(v))
+	g.set.Store(true)
+}
+
+// Value returns the gauge's current value and whether it was ever set.
+func (g *Gauge) Value() (float64, bool) {
+	return math.Float64frombits(g.bits.Load()), g.set.Load()
+}
+
+// Name returns the gauge's registered name.
+func (g *Gauge) Name() string { return g.name }
+
+// MetricValue is one entry of a metrics snapshot.
+type MetricValue struct {
+	Name  string
+	Value float64
+	// Kind is "counter", "float", or "gauge".
+	Kind string
+}
+
+// Metrics returns a snapshot of every registered counter, float counter,
+// and set gauge, sorted by name. Zero-valued counters are skipped so
+// reports only show metrics the run actually touched.
+func Metrics() []MetricValue {
+	registry.mu.Lock()
+	defer registry.mu.Unlock()
+	var out []MetricValue
+	for _, c := range registry.counters {
+		if v := c.Value(); v != 0 {
+			out = append(out, MetricValue{Name: c.name, Value: float64(v), Kind: "counter"})
+		}
+	}
+	for _, c := range registry.floats {
+		if v := c.Value(); v != 0 {
+			out = append(out, MetricValue{Name: c.name, Value: v, Kind: "float"})
+		}
+	}
+	for _, g := range registry.gauges {
+		if v, ok := g.Value(); ok {
+			out = append(out, MetricValue{Name: g.name, Value: v, Kind: "gauge"})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// MetricValueOf returns the snapshot value of the named metric, or 0 if
+// absent. Convenience for report code summing a single counter.
+func MetricValueOf(name string) float64 {
+	for _, m := range Metrics() {
+		if m.Name == name {
+			return m.Value
+		}
+	}
+	return 0
+}
+
+// ResetCounters zeroes every registered counter, float counter, and
+// gauge. Called by Enable so each enabled run starts from zero.
+func ResetCounters() {
+	registry.mu.Lock()
+	defer registry.mu.Unlock()
+	for _, c := range registry.counters {
+		c.v.Store(0)
+	}
+	for _, c := range registry.floats {
+		c.bits.Store(0)
+	}
+	for _, g := range registry.gauges {
+		g.bits.Store(0)
+		g.set.Store(false)
+	}
+}

@@ -1,0 +1,292 @@
+// Package obs is the unified tracing and metrics layer of gokoala: a
+// lightweight, allocation-conscious substrate every layer (backend,
+// einsum, dist, peps, mps, bench) reports into, so a run can be broken
+// down into the paper's phases — contraction, orthogonalization, SVD,
+// communication — end to end (the accounting behind paper Figures 7-10
+// and Table II).
+//
+// The package is disabled by default and its hot-path entry points are
+// near-free when disabled: Start performs one atomic load and returns a
+// nil *Span whose methods are all nil-receiver no-ops, and counters skip
+// their atomic add. Enabling installs zero or more sinks:
+//
+//   - JSONLSink: one JSON object per completed span, plus a final
+//     counters record; machine-readable event log.
+//   - ChromeTraceSink: Chrome trace_event JSON loadable in
+//     chrome://tracing or https://ui.perfetto.dev.
+//   - the built-in phase summary (always collected while enabled),
+//     printed with WriteSummary.
+//
+// Span hierarchy follows the library's execution model: the public APIs
+// of the tensor-network layer are driven from a single orchestrating
+// goroutine (see dist.Grid), so spans nest on a simple stack. Counters
+// are fully concurrent (rank goroutines increment them); only span
+// Start/End assume the orchestrating goroutine. Spans started from other
+// goroutines are still safe (a mutex guards the stack) but may attach to
+// a surprising parent.
+package obs
+
+import (
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// enabled is the global fast-path switch; all public entry points load
+// it before doing any work.
+var enabled atomic.Bool
+
+// Enabled reports whether tracing/metrics collection is on.
+func Enabled() bool { return enabled.Load() }
+
+// tracer is the package-global collector state behind the mutex.
+var tracer struct {
+	mu      sync.Mutex
+	stack   []*Span // active spans, innermost last
+	sinks   []Sink
+	summary map[string]*phaseAgg
+	origin  time.Time // trace epoch for relative timestamps
+}
+
+// Enable turns collection on, installing the given sinks (zero sinks is
+// valid: counters and the phase summary are still collected). It resets
+// all counters, the summary, and the span stack, so a run's totals start
+// from zero.
+func Enable(sinks ...Sink) {
+	tracer.mu.Lock()
+	tracer.sinks = append([]Sink(nil), sinks...)
+	tracer.stack = nil
+	tracer.summary = make(map[string]*phaseAgg)
+	tracer.origin = time.Now()
+	tracer.mu.Unlock()
+	ResetCounters()
+	enabled.Store(true)
+}
+
+// Disable turns collection off and flushes and detaches the sinks,
+// returning the first flush error. Spans still open are dropped.
+func Disable() error {
+	enabled.Store(false)
+	tracer.mu.Lock()
+	sinks := tracer.sinks
+	tracer.sinks = nil
+	tracer.stack = nil
+	tracer.mu.Unlock()
+	var first error
+	for _, s := range sinks {
+		if err := s.Flush(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// Attr is one key/value annotation on a span. Values are kept as the
+// small set of types the sinks know how to serialize.
+type Attr struct {
+	Key string
+	Str string
+	Num float64
+	Int int64
+	// Kind: 0 string, 1 float, 2 int.
+	Kind uint8
+}
+
+// Span is one timed region. A nil *Span (what Start returns while
+// disabled) is valid: every method is a no-op.
+type Span struct {
+	name     string
+	start    time.Time
+	parent   *Span
+	depth    int
+	attrs    []Attr
+	childDur time.Duration
+}
+
+// Start opens a span nested under the innermost open span. While
+// disabled it returns nil without allocating.
+func Start(name string) *Span {
+	if !enabled.Load() {
+		return nil
+	}
+	s := &Span{name: name, start: time.Now()}
+	tracer.mu.Lock()
+	if n := len(tracer.stack); n > 0 {
+		s.parent = tracer.stack[n-1]
+		s.depth = s.parent.depth + 1
+	}
+	tracer.stack = append(tracer.stack, s)
+	tracer.mu.Unlock()
+	pprofPush(name)
+	return s
+}
+
+// SetStr annotates the span with a string attribute.
+func (s *Span) SetStr(key, v string) *Span {
+	if s == nil {
+		return nil
+	}
+	s.attrs = append(s.attrs, Attr{Key: key, Str: v, Kind: 0})
+	return s
+}
+
+// SetFloat annotates the span with a numeric attribute. Float attributes
+// are summed per span name in the phase summary, which is how modeled
+// seconds from the dist machine model appear alongside measured seconds.
+func (s *Span) SetFloat(key string, v float64) *Span {
+	if s == nil {
+		return nil
+	}
+	s.attrs = append(s.attrs, Attr{Key: key, Num: v, Kind: 1})
+	return s
+}
+
+// SetInt annotates the span with an integer attribute. Like float
+// attributes, integer attributes are summed per span name in the
+// phase summary.
+func (s *Span) SetInt(key string, v int64) *Span {
+	if s == nil {
+		return nil
+	}
+	s.attrs = append(s.attrs, Attr{Key: key, Int: v, Kind: 2})
+	return s
+}
+
+// Event is a completed span as delivered to sinks. Offset is relative to
+// the Enable call so traces start at t=0.
+type Event struct {
+	Name   string
+	Offset time.Duration
+	Dur    time.Duration
+	Depth  int
+	Attrs  []Attr
+}
+
+// End closes the span, attributing its duration to the phase summary and
+// emitting it to the sinks. Safe on nil receivers and after Disable.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	dur := time.Since(s.start)
+	pprofPop()
+	if !enabled.Load() {
+		return
+	}
+	tracer.mu.Lock()
+	// Pop s from the stack; tolerate out-of-order ends by searching from
+	// the top (children ended late are simply removed where found).
+	for i := len(tracer.stack) - 1; i >= 0; i-- {
+		if tracer.stack[i] == s {
+			tracer.stack = append(tracer.stack[:i], tracer.stack[i+1:]...)
+			break
+		}
+	}
+	if s.parent != nil {
+		s.parent.childDur += dur
+	}
+	agg := tracer.summary[s.name]
+	if agg == nil {
+		agg = &phaseAgg{attrs: map[string]float64{}}
+		tracer.summary[s.name] = agg
+	}
+	agg.count++
+	agg.total += dur
+	self := dur - s.childDur
+	if self < 0 {
+		self = 0
+	}
+	agg.self += self
+	for _, a := range s.attrs {
+		switch a.Kind {
+		case 1:
+			agg.attrs[a.Key] += a.Num
+		case 2:
+			agg.attrs[a.Key] += float64(a.Int)
+		}
+	}
+	ev := Event{
+		Name:   s.name,
+		Offset: s.start.Sub(tracer.origin),
+		Dur:    dur,
+		Depth:  s.depth,
+		Attrs:  s.attrs,
+	}
+	sinks := tracer.sinks
+	tracer.mu.Unlock()
+	for _, sk := range sinks {
+		sk.SpanEnd(ev)
+	}
+}
+
+// Flush flushes every installed sink, returning the first error.
+func Flush() error {
+	tracer.mu.Lock()
+	sinks := append([]Sink(nil), tracer.sinks...)
+	tracer.mu.Unlock()
+	var first error
+	for _, s := range sinks {
+		if err := s.Flush(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// phaseAgg accumulates the per-span-name summary.
+type phaseAgg struct {
+	count int64
+	total time.Duration
+	self  time.Duration
+	attrs map[string]float64
+}
+
+// PhaseStat is one row of the phase summary.
+type PhaseStat struct {
+	Name  string
+	Count int64
+	// Total is the cumulative wall time of all spans with this name;
+	// Self excludes time spent in child spans, so Self sums to the
+	// traced wall time without double counting.
+	Total time.Duration
+	Self  time.Duration
+	// Attrs holds the per-name sums of numeric span attributes (e.g.
+	// modeled_s, comm_bytes).
+	Attrs map[string]float64
+}
+
+// Summary returns the per-phase aggregation collected since Enable,
+// sorted by descending total time.
+func Summary() []PhaseStat {
+	tracer.mu.Lock()
+	defer tracer.mu.Unlock()
+	out := make([]PhaseStat, 0, len(tracer.summary))
+	for name, a := range tracer.summary {
+		attrs := make(map[string]float64, len(a.attrs))
+		for k, v := range a.attrs {
+			if !math.IsNaN(v) {
+				attrs[k] = v
+			}
+		}
+		out = append(out, PhaseStat{Name: name, Count: a.count, Total: a.total, Self: a.self, Attrs: attrs})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Total != out[j].Total {
+			return out[i].Total > out[j].Total
+		}
+		return out[i].Name < out[j].Name
+	})
+	return out
+}
+
+// ResetSummary clears the per-phase aggregation (counters are separate;
+// see ResetCounters). Useful between experiments sharing one Enable.
+func ResetSummary() {
+	tracer.mu.Lock()
+	if tracer.summary != nil {
+		tracer.summary = make(map[string]*phaseAgg)
+	}
+	tracer.mu.Unlock()
+}

@@ -1,0 +1,57 @@
+package obs
+
+import (
+	"context"
+	"runtime/pprof"
+	"sync"
+	"sync/atomic"
+)
+
+// pprof label integration: when enabled, every open span also sets a
+// runtime/pprof goroutine label ("obs" = span name), so CPU profiles
+// taken while tracing attribute samples to the innermost span. Off by
+// default because label switching allocates; turn it on for profiling
+// sessions with EnablePprofLabels(true).
+
+var pprofLabels atomic.Bool
+
+// EnablePprofLabels toggles pprof goroutine labelling of spans.
+func EnablePprofLabels(on bool) { pprofLabels.Store(on) }
+
+// pprofState tracks the label-context stack of the orchestrating
+// goroutine (the same single-driver assumption as the span stack).
+var pprofState struct {
+	mu    sync.Mutex
+	stack []context.Context
+}
+
+func pprofPush(name string) {
+	if !pprofLabels.Load() {
+		return
+	}
+	pprofState.mu.Lock()
+	parent := context.Background()
+	if n := len(pprofState.stack); n > 0 {
+		parent = pprofState.stack[n-1]
+	}
+	ctx := pprof.WithLabels(parent, pprof.Labels("obs", name))
+	pprofState.stack = append(pprofState.stack, ctx)
+	pprofState.mu.Unlock()
+	pprof.SetGoroutineLabels(ctx)
+}
+
+func pprofPop() {
+	if !pprofLabels.Load() {
+		return
+	}
+	pprofState.mu.Lock()
+	if n := len(pprofState.stack); n > 0 {
+		pprofState.stack = pprofState.stack[:n-1]
+	}
+	restore := context.Background()
+	if n := len(pprofState.stack); n > 0 {
+		restore = pprofState.stack[n-1]
+	}
+	pprofState.mu.Unlock()
+	pprof.SetGoroutineLabels(restore)
+}

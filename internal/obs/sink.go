@@ -1,0 +1,174 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+)
+
+// Sink receives completed spans. Implementations must be safe for
+// concurrent SpanEnd calls.
+type Sink interface {
+	// SpanEnd delivers one completed span.
+	SpanEnd(Event)
+	// Flush writes any buffered state (for file-backed sinks, the full
+	// serialized trace) and leaves the sink reusable.
+	Flush() error
+}
+
+// attrMap converts span attributes to a JSON-friendly map.
+func attrMap(attrs []Attr) map[string]interface{} {
+	if len(attrs) == 0 {
+		return nil
+	}
+	m := make(map[string]interface{}, len(attrs))
+	for _, a := range attrs {
+		switch a.Kind {
+		case 0:
+			m[a.Key] = a.Str
+		case 1:
+			m[a.Key] = a.Num
+		case 2:
+			m[a.Key] = a.Int
+		}
+	}
+	return m
+}
+
+// JSONLSink writes one JSON object per completed span to w, immediately,
+// in end order: {"type":"span","name":...,"offset_us":...,"dur_us":...,
+// "depth":...,"attrs":{...}}. Flush appends a {"type":"metrics"} record
+// with the current counter snapshot, so a finished log carries the run's
+// totals.
+type JSONLSink struct {
+	mu  sync.Mutex
+	w   io.Writer
+	err error
+}
+
+// NewJSONLSink returns a JSONL sink writing to w.
+func NewJSONLSink(w io.Writer) *JSONLSink { return &JSONLSink{w: w} }
+
+type jsonlSpan struct {
+	Type     string                 `json:"type"`
+	Name     string                 `json:"name"`
+	OffsetUS float64                `json:"offset_us"`
+	DurUS    float64                `json:"dur_us"`
+	Depth    int                    `json:"depth"`
+	Attrs    map[string]interface{} `json:"attrs,omitempty"`
+}
+
+func (s *JSONLSink) SpanEnd(e Event) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.err != nil {
+		return
+	}
+	rec := jsonlSpan{
+		Type:     "span",
+		Name:     e.Name,
+		OffsetUS: float64(e.Offset.Nanoseconds()) / 1e3,
+		DurUS:    float64(e.Dur.Nanoseconds()) / 1e3,
+		Depth:    e.Depth,
+		Attrs:    attrMap(e.Attrs),
+	}
+	b, err := json.Marshal(rec)
+	if err != nil {
+		s.err = err
+		return
+	}
+	_, s.err = fmt.Fprintf(s.w, "%s\n", b)
+}
+
+// Flush appends the metrics record and returns any accumulated error.
+func (s *JSONLSink) Flush() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.err != nil {
+		return s.err
+	}
+	metrics := map[string]float64{}
+	for _, m := range Metrics() {
+		metrics[m.Name] = m.Value
+	}
+	rec := struct {
+		Type    string             `json:"type"`
+		Metrics map[string]float64 `json:"metrics"`
+	}{"metrics", metrics}
+	b, err := json.Marshal(rec)
+	if err != nil {
+		return err
+	}
+	_, err = fmt.Fprintf(s.w, "%s\n", b)
+	return err
+}
+
+// ChromeTraceSink buffers completed spans and serializes them on Flush
+// as Chrome trace_event JSON (the "JSON Array Format"): complete ("X")
+// events with microsecond timestamps, loadable in chrome://tracing or
+// https://ui.perfetto.dev. Counter totals are appended as a final
+// counter ("C") event so they are visible in the trace too.
+type ChromeTraceSink struct {
+	mu     sync.Mutex
+	w      io.Writer
+	events []Event
+}
+
+// NewChromeTraceSink returns a trace_event sink writing to w on Flush.
+func NewChromeTraceSink(w io.Writer) *ChromeTraceSink { return &ChromeTraceSink{w: w} }
+
+func (s *ChromeTraceSink) SpanEnd(e Event) {
+	s.mu.Lock()
+	s.events = append(s.events, e)
+	s.mu.Unlock()
+}
+
+type chromeEvent struct {
+	Name string                 `json:"name"`
+	Ph   string                 `json:"ph"`
+	TS   float64                `json:"ts"`
+	Dur  float64                `json:"dur,omitempty"`
+	PID  int                    `json:"pid"`
+	TID  int                    `json:"tid"`
+	Args map[string]interface{} `json:"args,omitempty"`
+}
+
+// Flush serializes the buffered spans. The buffer is retained, so a
+// later Flush rewrites the full trace only if w supports it; callers
+// normally Flush once at exit.
+func (s *ChromeTraceSink) Flush() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	evs := make([]chromeEvent, 0, len(s.events)+1)
+	var last float64
+	for _, e := range s.events {
+		ts := float64(e.Offset.Nanoseconds()) / 1e3
+		dur := float64(e.Dur.Nanoseconds()) / 1e3
+		if end := ts + dur; end > last {
+			last = end
+		}
+		evs = append(evs, chromeEvent{
+			Name: e.Name,
+			Ph:   "X",
+			TS:   ts,
+			Dur:  dur,
+			PID:  1,
+			TID:  1,
+			Args: attrMap(e.Attrs),
+		})
+	}
+	counters := map[string]interface{}{}
+	for _, m := range Metrics() {
+		counters[m.Name] = m.Value
+	}
+	if len(counters) > 0 {
+		evs = append(evs, chromeEvent{Name: "metrics", Ph: "C", TS: last, PID: 1, TID: 1, Args: counters})
+	}
+	b, err := json.MarshalIndent(evs, "", " ")
+	if err != nil {
+		return err
+	}
+	_, err = s.w.Write(append(b, '\n'))
+	return err
+}

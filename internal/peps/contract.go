@@ -7,6 +7,7 @@ import (
 
 	"gokoala/internal/einsumsvd"
 	"gokoala/internal/mps"
+	"gokoala/internal/obs"
 	"gokoala/internal/tensor"
 )
 
@@ -71,6 +72,9 @@ func (p *PEPS) ContractScalar(opt ContractOption) complex128 {
 			}
 		}
 	}
+	sp := obs.Start("bmps.sweep").SetStr("algorithm", opt.Name()).
+		SetInt("rows", int64(p.Rows)).SetInt("cols", int64(p.Cols))
+	defer sp.End()
 	s := p.rowMPS(0)
 	for r := 1; r < p.Rows; r++ {
 		o := p.rowMPO(r)
@@ -128,6 +132,8 @@ func MergeLayers(bra, ket *PEPS) *PEPS {
 	if bra.Rows != ket.Rows || bra.Cols != ket.Cols {
 		panic("peps: lattice size mismatch")
 	}
+	sp := obs.Start("peps.merge_layers")
+	defer sp.End()
 	eng := bra.eng
 	sites := make([][]*tensor.Dense, bra.Rows)
 	for r := 0; r < bra.Rows; r++ {
@@ -149,6 +155,8 @@ func MergeLayers(bra, ket *PEPS) *PEPS {
 // BMPS merge the two layers into a one-layer network first; TwoLayerBMPS
 // keeps the layers implicit (see twolayer.go).
 func (p *PEPS) Inner(q *PEPS, opt ContractOption) complex128 {
+	sp := obs.Start("peps.inner").SetStr("algorithm", opt.Name())
+	defer sp.End()
 	if tl, ok := opt.(TwoLayerBMPS); ok {
 		return innerTwoLayer(p, q, tl)
 	}

@@ -5,6 +5,7 @@ import (
 	"math"
 
 	"gokoala/internal/einsumsvd"
+	"gokoala/internal/obs"
 	"gokoala/internal/quantum"
 )
 
@@ -24,26 +25,30 @@ type ExpectationOptions struct {
 
 // Expectation returns the Rayleigh quotient <psi|H|psi> / <psi|psi> for a
 // Hamiltonian given as a sum of local terms.
-func (p *PEPS) Expectation(obs *quantum.Observable, opts ExpectationOptions) complex128 {
+func (p *PEPS) Expectation(h *quantum.Observable, opts ExpectationOptions) complex128 {
 	if opts.M <= 0 {
 		panic("peps: ExpectationOptions.M must be positive")
 	}
 	if opts.Strategy == nil {
 		panic("peps: ExpectationOptions.Strategy must be set")
 	}
-	if ms := obs.MaxSite(); ms >= p.Rows*p.Cols {
+	if ms := h.MaxSite(); ms >= p.Rows*p.Cols {
 		panic(fmt.Sprintf("peps: observable touches site %d beyond lattice size %d", ms, p.Rows*p.Cols))
 	}
+	sp := obs.Start("peps.expectation").SetInt("terms", int64(len(h.Terms)))
+	defer sp.End()
 	if opts.UseCache {
-		return p.expectationCached(obs, opts)
+		sp.SetStr("mode", "cached")
+		return p.expectationCached(h, opts)
 	}
-	return p.expectationDirect(obs, opts)
+	sp.SetStr("mode", "direct")
+	return p.expectationDirect(h, opts)
 }
 
 // EnergyPerSite returns the real part of the expectation divided by the
 // number of lattice sites, the quantity plotted in paper Figures 13-14.
-func (p *PEPS) EnergyPerSite(obs *quantum.Observable, opts ExpectationOptions) float64 {
-	return real(p.Expectation(obs, opts)) / float64(p.Rows*p.Cols)
+func (p *PEPS) EnergyPerSite(h *quantum.Observable, opts ExpectationOptions) float64 {
+	return real(p.Expectation(h, opts)) / float64(p.Rows*p.Cols)
 }
 
 // applyTermExact applies one observable term to a shallow clone of the
@@ -65,11 +70,11 @@ func (p *PEPS) applyTermExact(t quantum.Term) *PEPS {
 // expectationDirect evaluates each term with a full two-layer contraction
 // (paper equation 5 without caching): one contraction for the norm and
 // one per term.
-func (p *PEPS) expectationDirect(obs *quantum.Observable, opts ExpectationOptions) complex128 {
+func (p *PEPS) expectationDirect(h *quantum.Observable, opts ExpectationOptions) complex128 {
 	opt := TwoLayerBMPS{M: opts.M, Strategy: opts.Strategy}
 	den := p.Inner(p, opt)
 	var num complex128
-	for _, t := range obs.Terms {
+	for _, t := range h.Terms {
 		phi := p.applyTermExact(t)
 		num += t.Coef * p.Inner(phi, opt)
 	}
@@ -79,13 +84,13 @@ func (p *PEPS) expectationDirect(obs *quantum.Observable, opts ExpectationOption
 // expectationCached implements paper section IV-B: two full sweeps build
 // the per-row top and bottom environments of <psi|psi>, and every local
 // term is evaluated by contracting only the strip of rows it touches.
-func (p *PEPS) expectationCached(obs *quantum.Observable, opts ExpectationOptions) complex128 {
+func (p *PEPS) expectationCached(h *quantum.Observable, opts ExpectationOptions) complex128 {
 	tops := p.TopEnvironments(opts.M, opts.Strategy)
 	bottoms := p.BottomEnvironments(opts.M, opts.Strategy)
 
 	den := closeBoundaries(p.eng, tops[0], bottoms[0])
 	var num complex128
-	for _, t := range obs.Terms {
+	for _, t := range h.Terms {
 		rlo, rhi := p.termRowSpan(t)
 		phi := p.applyTermExact(t)
 		s := tops[rlo]

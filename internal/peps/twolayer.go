@@ -5,6 +5,7 @@ import (
 
 	"gokoala/internal/backend"
 	"gokoala/internal/einsumsvd"
+	"gokoala/internal/obs"
 	"gokoala/internal/tensor"
 )
 
@@ -49,6 +50,8 @@ func (b boundary) maxBond() int {
 // operator — the bra and ket sites are never contracted into an r^2-bond
 // MPO tensor, realizing the two-layer IBMPS costs of paper Table II.
 func applyTwoLayerRow(eng backend.Engine, s boundary, braRow, ketRow []*tensor.Dense, m int, st einsumsvd.Strategy) boundary {
+	sp := obs.Start("twolayer.row").SetInt("boundary_bond", int64(s.maxBond()))
+	defer sp.End()
 	cols := len(s)
 	out := make(boundary, cols)
 	conj := func(c int) *tensor.Dense { return braRow[c].Conj() }
@@ -102,6 +105,9 @@ func innerTwoLayer(bra, ket *PEPS, opt TwoLayerBMPS) complex128 {
 	if bra.Rows != ket.Rows || bra.Cols != ket.Cols {
 		panic("peps: lattice size mismatch")
 	}
+	sp := obs.Start("bmps.sweep").SetStr("algorithm", opt.Name()).
+		SetInt("rows", int64(bra.Rows)).SetInt("cols", int64(bra.Cols))
+	defer sp.End()
 	eng := bra.eng
 	s := trivialBoundary(bra.Cols)
 	for r := 0; r < bra.Rows; r++ {
@@ -115,6 +121,12 @@ func innerTwoLayer(bra, ket *PEPS, opt TwoLayerBMPS) complex128 {
 // two-layer partial contraction of rows 0..k-1 of <p|p> (tops[0] is
 // trivial). These are the cached intermediates of paper section IV-B.
 func (p *PEPS) TopEnvironments(m int, st einsumsvd.Strategy) []boundary {
+	sp := obs.Start("peps.environments").SetStr("side", "top")
+	defer sp.End()
+	return p.topEnvironments(m, st)
+}
+
+func (p *PEPS) topEnvironments(m int, st einsumsvd.Strategy) []boundary {
 	tops := make([]boundary, p.Rows+1)
 	tops[0] = trivialBoundary(p.Cols)
 	for r := 0; r < p.Rows; r++ {
@@ -128,8 +140,10 @@ func (p *PEPS) TopEnvironments(m int, st einsumsvd.Strategy) []boundary {
 // is trivial). Physical legs are the up bonds of row k, ordered (bra,
 // ket) like the top environments.
 func (p *PEPS) BottomEnvironments(m int, st einsumsvd.Strategy) []boundary {
+	sp := obs.Start("peps.environments").SetStr("side", "bottom")
+	defer sp.End()
 	f := p.FlipVertical()
-	flipped := f.TopEnvironments(m, st)
+	flipped := f.topEnvironments(m, st)
 	bottoms := make([]boundary, p.Rows+1)
 	for k := 0; k <= p.Rows; k++ {
 		bottoms[k] = flipped[p.Rows-k]

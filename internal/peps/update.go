@@ -6,6 +6,7 @@ import (
 	"math/rand"
 
 	"gokoala/internal/einsumsvd"
+	"gokoala/internal/obs"
 	"gokoala/internal/quantum"
 	"gokoala/internal/tensor"
 )
@@ -67,6 +68,8 @@ func (p *PEPS) ApplyTwoSite(g *tensor.Dense, site1, site2 int, opts UpdateOption
 	if site1 == site2 {
 		panic("peps: two-site gate on identical sites")
 	}
+	sp := obs.Start("peps.update").SetStr("method", updateMethodName(opts.Method))
+	defer sp.End()
 	g4 := quantum.Gate4(g)
 	switch {
 	case r1 == r2 && abs(c1-c2) == 1:
@@ -84,6 +87,14 @@ func (p *PEPS) ApplyTwoSite(g *tensor.Dense, site1, site2 int, opts UpdateOption
 	default:
 		p.applyRouted(g4, r1, c1, r2, c2, opts)
 	}
+}
+
+// updateMethodName labels the update algorithm in trace output.
+func updateMethodName(m UpdateMethod) string {
+	if m == UpdateDirect {
+		return "direct"
+	}
+	return "qr-svd"
 }
 
 // swapGateOrder reorders a two-qubit gate tensor g[i1,i2,j1,j2] to act
