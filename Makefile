@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet check bench clean
+.PHONY: all build test race vet check bench bench-smoke clean
 
 all: check
 
@@ -13,9 +13,11 @@ test:
 	$(GO) test ./...
 
 # Race-check the concurrency-sensitive packages: the simulated
-# distributed runtime and the obs counters/span stack.
+# distributed runtime, the obs counters/span stack, the worker pool and
+# the kernels/planner that dispatch onto it.
 race:
-	$(GO) test -race ./internal/dist/... ./internal/obs/... ./internal/backend/...
+	$(GO) test -race ./internal/dist/... ./internal/obs/... ./internal/backend/... \
+		./internal/pool/... ./internal/tensor/... ./internal/einsum/... ./internal/linalg/...
 
 vet:
 	$(GO) vet ./...
@@ -25,6 +27,11 @@ check: build vet test race
 # Overhead reference for the tracing-off fast path (<2% target).
 bench:
 	$(GO) test -bench=BenchmarkContract -benchmem -run=^$$ ./internal/einsum/
+
+# One-iteration pass over every benchmark in the repo: catches bit-rot
+# in benchmark code without burning CI minutes on timing.
+bench-smoke:
+	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
 
 clean:
 	$(GO) clean ./...

@@ -29,6 +29,7 @@ import (
 	"time"
 
 	"gokoala/internal/bench"
+	"gokoala/internal/einsum"
 	"gokoala/internal/obs"
 	"gokoala/internal/tensor"
 )
@@ -97,6 +98,9 @@ func main() {
 		if observing {
 			obs.ResetCounters()
 			obs.ResetSummary()
+			// Fresh per-suite plan cache statistics (the few recompiles
+			// this forces are noise next to a suite's contraction count).
+			einsum.ResetPlanCache()
 		}
 		res := bench.SuiteResult{Suite: name, Params: params}
 		res.Flops = flopsOf(func() {

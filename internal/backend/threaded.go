@@ -1,101 +1,71 @@
 package backend
 
 import (
-	"runtime"
-	"sync"
-
 	"gokoala/internal/einsum"
 	"gokoala/internal/linalg"
+	"gokoala/internal/pool"
 	"gokoala/internal/tensor"
 )
 
-// Threaded is the shared-memory multicore engine: einsum GEMMs execute
-// in parallel over row blocks with one goroutine per worker, which is the
-// role NumPy-with-MKL-threads plays as the paper's single-node baseline.
-// Factorizations stay sequential (as LAPACK's are, at these sizes).
+// Threaded is the shared-memory multicore engine, the role
+// NumPy-with-MKL-threads plays as the paper's single-node baseline.
+// Since the kernel overhaul, parallelism lives in the compute kernels
+// themselves: batched GEMMs, materializing transposes, and fused
+// scatter GEMMs all split their output rows over the persistent worker
+// pool (internal/pool), so contractions run through the same compiled
+// einsum plans the sequential engine uses, already parallel.
+//
+// Workers, when positive, caps the parallelism of this engine's
+// contractions: GEMMs are routed through the engine's own partitioned
+// kernel, which splits rows with pool.ForMax bounded by Workers. When
+// zero, kernels split across the full pool (sized by GOMAXPROCS, or
+// pool.SetWorkers). Factorizations stay sequential (as LAPACK's are, at
+// these sizes).
 type Threaded struct {
-	// Workers is the goroutine count; 0 means runtime.GOMAXPROCS(0).
+	// Workers bounds the worker count for this engine's contractions;
+	// 0 means the full worker pool.
 	Workers int
 }
 
-// NewThreaded returns a threaded engine using all available CPUs.
+// NewThreaded returns a threaded engine using the full worker pool.
 func NewThreaded() *Threaded { return &Threaded{} }
 
 func (t *Threaded) Name() string { return "threaded" }
 
-func (t *Threaded) workers() int {
-	if t.Workers > 0 {
-		return t.Workers
-	}
-	return runtime.GOMAXPROCS(0)
-}
-
 func (t *Threaded) Einsum(spec string, ops ...*tensor.Dense) *tensor.Dense {
-	out, err := einsum.ContractWithHooks(spec, ops, einsum.Hooks{GEMM: t.batchMatMul})
+	var h einsum.Hooks
+	if t.Workers > 0 {
+		// An explicit cap opts out of the kernels' pool-wide splitting:
+		// route GEMMs through the bounded partitioned kernel instead.
+		h.GEMM = t.batchMatMul
+	}
+	out, err := einsum.ContractWithHooks(spec, ops, h)
 	if err != nil {
 		panic("backend: " + err.Error())
 	}
 	return out
 }
 
-// batchMatMul multiplies [bt, m, k] x [bt, k, n] splitting work across
-// goroutines: over the batch when it is large enough, otherwise over the
-// rows of each multiply. Work smaller than a threshold runs inline.
+// batchMatMul multiplies [bt, m, k] x [bt, k, n], splitting the bt*m
+// output rows over the worker pool with at most t.Workers chunks. Rows
+// are multiplied in place into disjoint sub-slices of the shared output
+// — no per-call goroutines, no temporaries, no copies.
 func (t *Threaded) batchMatMul(a, b *tensor.Dense) *tensor.Dense {
 	bt, m, k := a.Dim(0), a.Dim(1), a.Dim(2)
 	n := b.Dim(2)
-	flops := int64(bt) * int64(m) * int64(n) * int64(k)
-	w := t.workers()
-	if byWork := int(flops/65536) + 1; byWork < w {
-		w = byWork
-	}
-	if w <= 1 {
-		return tensor.BatchMatMul(a, b)
-	}
 	out := tensor.New(bt, m, n)
-	var wg sync.WaitGroup
-	if bt >= w {
-		for r := 0; r < w; r++ {
-			lo, hi := bt*r/w, bt*(r+1)/w
-			if lo == hi {
-				continue
-			}
-			wg.Add(1)
-			go func(lo, hi int) {
-				defer wg.Done()
-				ab := tensor.FromData(a.Data()[lo*m*k:hi*m*k], hi-lo, m, k)
-				bb := tensor.FromData(b.Data()[lo*k*n:hi*k*n], hi-lo, k, n)
-				cb := tensor.BatchMatMul(ab, bb)
-				copy(out.Data()[lo*m*n:hi*m*n], cb.Data())
-			}(lo, hi)
+	grain := int(65536/(int64(n)*int64(k))) + 1
+	pool.ForMax(t.Workers, bt*m, grain, func(lo, hi int) {
+		for r := lo; r < hi; {
+			bi, i := r/m, r%m
+			rows := min(m-i, hi-r)
+			co := tensor.FromData(out.Data()[r*n:(r+rows)*n], rows, n)
+			ao := tensor.FromData(a.Data()[r*k:(r+rows)*k], rows, k)
+			bo := tensor.FromData(b.Data()[bi*k*n:(bi+1)*k*n], k, n)
+			tensor.MatMulInto(co, ao, bo)
+			r += rows
 		}
-		wg.Wait()
-		return out
-	}
-	// Split rows within each batch entry.
-	for i := 0; i < bt; i++ {
-		ai := a.Data()[i*m*k : (i+1)*m*k]
-		bi := tensor.FromData(b.Data()[i*k*n:(i+1)*k*n], k, n)
-		ci := out.Data()[i*m*n : (i+1)*m*n]
-		ww := w
-		if m < ww {
-			ww = m
-		}
-		for r := 0; r < ww; r++ {
-			lo, hi := m*r/ww, m*(r+1)/ww
-			if lo == hi {
-				continue
-			}
-			wg.Add(1)
-			go func(lo, hi int, ai []complex128, bi *tensor.Dense, ci []complex128) {
-				defer wg.Done()
-				ab := tensor.FromData(ai[lo*k:hi*k], hi-lo, k)
-				cb := tensor.MatMul(ab, bi)
-				copy(ci[lo*n:hi*n], cb.Data())
-			}(lo, hi, ai, bi, ci)
-		}
-		wg.Wait()
-	}
+	})
 	return out
 }
 

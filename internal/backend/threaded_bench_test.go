@@ -1,0 +1,53 @@
+package backend
+
+import (
+	"math/rand"
+	"testing"
+
+	"gokoala/internal/tensor"
+)
+
+// threadedBMPSSequence mirrors internal/einsum's BMPS-shaped repeated
+// contraction sequence, driven through the threaded engine so the
+// worker dispatch and in-place GEMM paths are on the measured path.
+var threadedBMPSSequence = []struct {
+	spec   string
+	shapes [][]int
+}{
+	{"ULDRp,uldrp->UuLlDdRr", [][]int{{4, 4, 4, 4, 2}, {4, 4, 4, 4, 2}}},
+	{"ac,apqb,cpqd->bd", [][]int{{8, 8}, {8, 4, 4, 8}, {8, 4, 4, 8}}},
+	{"abck,kin->abcni", [][]int{{4, 4, 4, 8}, {8, 2, 8}}},
+	{"kb,bpc->kpc", [][]int{{8, 8}, {8, 2, 8}}},
+}
+
+func BenchmarkThreadedBMPSSequence(b *testing.B) {
+	rng := rand.New(rand.NewSource(7))
+	eng := NewThreaded()
+	ops := make([][]*tensor.Dense, len(threadedBMPSSequence))
+	for i, s := range threadedBMPSSequence {
+		ops[i] = make([]*tensor.Dense, len(s.shapes))
+		for j, sh := range s.shapes {
+			ops[i][j] = tensor.Rand(rng, sh...)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j, s := range threadedBMPSSequence {
+			eng.Einsum(s.spec, ops[j]...)
+		}
+	}
+}
+
+// BenchmarkThreadedBatchGEMM exercises the engine's batched multiply
+// partitioning on a mid-sized workload.
+func BenchmarkThreadedBatchGEMM(b *testing.B) {
+	rng := rand.New(rand.NewSource(8))
+	eng := NewThreaded()
+	x := tensor.Rand(rng, 8, 64, 64)
+	y := tensor.Rand(rng, 8, 64, 64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eng.Einsum("bij,bjk->bik", x, y)
+	}
+}

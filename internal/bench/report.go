@@ -6,6 +6,7 @@ import (
 	"os"
 	"path/filepath"
 
+	"gokoala/internal/einsum"
 	"gokoala/internal/obs"
 )
 
@@ -30,6 +31,12 @@ type SuiteResult struct {
 	Flops int64 `json:"flops"`
 	// CommBytes is the modeled communication volume.
 	CommBytes int64 `json:"comm_bytes"`
+	// PlanCacheHits/Misses/HitRate record how well the einsum plan
+	// cache absorbed the suite's contraction stream (hit rate over the
+	// whole process up to collection, since the cache is global).
+	PlanCacheHits   int64   `json:"plan_cache_hits"`
+	PlanCacheMisses int64   `json:"plan_cache_misses"`
+	PlanCacheRate   float64 `json:"plan_cache_hit_rate"`
 }
 
 // CollectSuiteMetrics fills the obs-derived fields of a SuiteResult from
@@ -39,6 +46,10 @@ func CollectSuiteMetrics(res *SuiteResult) {
 	res.ModeledSeconds = obs.MetricValueOf("dist.modeled.comm_seconds") +
 		obs.MetricValueOf("dist.modeled.comp_seconds")
 	res.CommBytes = int64(obs.MetricValueOf("dist.comm.bytes"))
+	res.PlanCacheHits, res.PlanCacheMisses, _ = einsum.PlanCacheStats()
+	if total := res.PlanCacheHits + res.PlanCacheMisses; total > 0 {
+		res.PlanCacheRate = float64(res.PlanCacheHits) / float64(total)
+	}
 }
 
 // WriteBenchJSON writes res as dir/BENCH_<suite>.json (indented, with a

@@ -114,8 +114,23 @@ func MustContract(spec string, ops ...*tensor.Dense) *tensor.Dense {
 }
 
 // ContractWithHooks evaluates the spec, reporting primitive operations to
-// the provided hooks.
+// the provided hooks. The contraction is compiled into a Plan memoized
+// in a bounded process-wide cache keyed on (spec, operand shapes), so
+// hot loops that repeat the same contraction signature — BMPS row
+// absorption, expectation sweeps — pay for parsing, path search, and
+// permutation layout only once.
 func ContractWithHooks(spec string, ops []*tensor.Dense, h Hooks) (*tensor.Dense, error) {
+	p, err := cachedPlan(spec, ops)
+	if err != nil {
+		return nil, err
+	}
+	return p.execute(ops, h)
+}
+
+// contractUncached is the direct evaluation path the plan compiler
+// mirrors. It is kept as the reference implementation: equivalence tests
+// and benchmarks compare the cached plan path against it.
+func contractUncached(spec string, ops []*tensor.Dense, h Hooks) (*tensor.Dense, error) {
 	if h.OnContract != nil {
 		// Accumulate primitive costs through chained observers and report
 		// the per-contraction total once at the end.
@@ -129,7 +144,7 @@ func ContractWithHooks(spec string, ops []*tensor.Dense, h Hooks) (*tensor.Dense
 		}
 		inner := h
 		inner.OnContract = nil
-		out, err := ContractWithHooks(spec, ops, acc.Chain(inner))
+		out, err := contractUncached(spec, ops, acc.Chain(inner))
 		if err == nil {
 			h.OnContract(spec, cost)
 		}

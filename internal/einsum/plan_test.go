@@ -1,0 +1,290 @@
+package einsum
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"gokoala/internal/tensor"
+)
+
+// planEquivalenceCases spans the lowering space: plain pairwise GEMMs,
+// batch letters, private sum-outs, scalar outputs, outer products,
+// identity specs, traces to scalars, and the short-k GEMM + transpose
+// shapes the plan compiler fuses into scatter ops.
+var planEquivalenceCases = []struct {
+	spec   string
+	shapes [][]int
+}{
+	{"ij,jk->ik", [][]int{{3, 4}, {4, 5}}},
+	{"bij,bjk->bik", [][]int{{2, 3, 4}, {2, 4, 5}}},
+	{"ij,jk,kl->il", [][]int{{3, 4}, {4, 5}, {5, 3}}},
+	{"ijk->ikj", [][]int{{2, 3, 4}}},
+	{"ij->ij", [][]int{{3, 4}}},
+	{"ijk->i", [][]int{{3, 4, 2}}},
+	{"ij,ij->", [][]int{{3, 4}, {3, 4}}},
+	{"i,j->ij", [][]int{{5}, {7}}},
+	{"ijk,k->ij", [][]int{{2, 3, 4}, {4}}},
+	{"ijkl->lkji", [][]int{{2, 3, 2, 3}}},
+	// Double-layer PEPS merge: k=2 GEMM + interleaving transpose, the
+	// canonical fused opGEMMScatter shape (both run4 and 4-row-block
+	// paths fire at these sizes).
+	{"ULDRp,uldrp->UuLlDdRr", [][]int{{4, 4, 4, 4, 2}, {4, 4, 4, 4, 2}}},
+	// Same fusion with dims that defeat the 4-wide run detection.
+	{"ABp,abp->AaBb", [][]int{{3, 5, 2}, {3, 5, 2}}},
+	// Fused shape with k=1 (pure outer product + transpose).
+	{"ABp,abp->AaBb", [][]int{{4, 4, 1}, {4, 4, 1}}},
+	// Fused shape with k=3 (general-k scatter path).
+	{"ABp,abp->AaBb", [][]int{{4, 4, 3}, {4, 4, 3}}},
+	{"ac,apqb,cpqd->bd", [][]int{{4, 4}, {4, 3, 3, 4}, {4, 3, 3, 4}}},
+	{"abck,kin->abcni", [][]int{{2, 3, 2, 4}, {4, 2, 4}}},
+	{"aXb,bYc->aXYc", [][]int{{2, 3, 4}, {4, 5, 2}}},
+}
+
+func randOperands(rng *rand.Rand, shapes [][]int) []*tensor.Dense {
+	ops := make([]*tensor.Dense, len(shapes))
+	for i, s := range shapes {
+		ops[i] = tensor.Rand(rng, s...)
+	}
+	return ops
+}
+
+// TestPlanMatchesUncached contracts every case through the compiled-plan
+// path and through direct evaluation, requiring elementwise agreement.
+func TestPlanMatchesUncached(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	for _, tc := range planEquivalenceCases {
+		for trial := 0; trial < 3; trial++ {
+			ops := randOperands(rng, tc.shapes)
+			want, err := contractUncached(tc.spec, ops, Hooks{})
+			if err != nil {
+				t.Fatalf("%q: uncached: %v", tc.spec, err)
+			}
+			p, err := Compile(tc.spec, shapesOf(ops))
+			if err != nil {
+				t.Fatalf("%q: compile: %v", tc.spec, err)
+			}
+			got, err := p.Execute(ops...)
+			if err != nil {
+				t.Fatalf("%q: execute: %v", tc.spec, err)
+			}
+			assertClose(t, tc.spec, got, want)
+		}
+	}
+}
+
+// TestCachedContractMatchesUncached exercises the full public path —
+// cache lookup included — twice per case, so both the compile-miss and
+// the cache-hit replay are compared against direct evaluation.
+func TestCachedContractMatchesUncached(t *testing.T) {
+	ResetPlanCache()
+	rng := rand.New(rand.NewSource(42))
+	for _, tc := range planEquivalenceCases {
+		for trial := 0; trial < 2; trial++ {
+			ops := randOperands(rng, tc.shapes)
+			want, err := contractUncached(tc.spec, ops, Hooks{})
+			if err != nil {
+				t.Fatalf("%q: uncached: %v", tc.spec, err)
+			}
+			got, err := Contract(tc.spec, ops...)
+			if err != nil {
+				t.Fatalf("%q: contract: %v", tc.spec, err)
+			}
+			assertClose(t, tc.spec, got, want)
+		}
+	}
+}
+
+// TestPlanHookSequence verifies the compiled executor reports the same
+// hook firing sequence (moves, GEMM shapes, final cost) as direct
+// evaluation: the dist backend's communication accounting depends on it.
+func TestPlanHookSequence(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	for _, tc := range planEquivalenceCases {
+		ops := randOperands(rng, tc.shapes)
+		record := func(events *[]string, costs *[]Cost) Hooks {
+			return Hooks{
+				OnMove: func(n int) { *events = append(*events, fmt.Sprintf("move:%d", n)) },
+				OnGEMM: func(b, m, n, k int) { *events = append(*events, fmt.Sprintf("gemm:%d,%d,%d,%d", b, m, n, k)) },
+				OnContract: func(spec string, c Cost) {
+					*events = append(*events, "contract:"+spec)
+					*costs = append(*costs, c)
+				},
+			}
+		}
+		var wantEv, gotEv []string
+		var wantCost, gotCost []Cost
+		if _, err := contractUncached(tc.spec, ops, record(&wantEv, &wantCost)); err != nil {
+			t.Fatalf("%q: uncached: %v", tc.spec, err)
+		}
+		p, err := Compile(tc.spec, shapesOf(ops))
+		if err != nil {
+			t.Fatalf("%q: compile: %v", tc.spec, err)
+		}
+		if _, err := p.execute(ops, record(&gotEv, &gotCost)); err != nil {
+			t.Fatalf("%q: execute: %v", tc.spec, err)
+		}
+		// The fused scatter op fires OnGEMM then OnMove where the
+		// uncached path fires them around the separate transpose; both
+		// orderings describe the same primitives, so compare as
+		// multisets via sorted copies.
+		if !sameMultiset(wantEv, gotEv) {
+			t.Errorf("%q: hook events differ:\nuncached: %v\nplan:     %v", tc.spec, wantEv, gotEv)
+		}
+		if len(wantCost) != 1 || len(gotCost) != 1 || wantCost[0] != gotCost[0] {
+			t.Errorf("%q: contract cost differs: uncached %+v plan %+v", tc.spec, wantCost, gotCost)
+		}
+	}
+}
+
+// TestPlanCacheHitRate replays a BMPS-like working set and requires the
+// cache to absorb it at well above the 90%% acceptance floor.
+func TestPlanCacheHitRate(t *testing.T) {
+	ResetPlanCache()
+	rng := rand.New(rand.NewSource(44))
+	for i := 0; i < 50; i++ {
+		for _, tc := range planEquivalenceCases[:6] {
+			ops := randOperands(rng, tc.shapes)
+			if _, err := Contract(tc.spec, ops...); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	hits, misses, _ := PlanCacheStats()
+	rate := float64(hits) / float64(hits+misses)
+	if rate < 0.9 {
+		t.Fatalf("plan cache hit rate %.3f (hits=%d misses=%d), want > 0.9", rate, hits, misses)
+	}
+}
+
+// TestPlanCacheEviction bounds the cache and checks eviction counts and
+// continued correctness once the working set exceeds the bound.
+func TestPlanCacheEviction(t *testing.T) {
+	ResetPlanCache()
+	SetPlanCacheSize(4)
+	defer func() {
+		SetPlanCacheSize(DefaultPlanCacheSize)
+		ResetPlanCache()
+	}()
+	rng := rand.New(rand.NewSource(45))
+	// 8 distinct shape signatures through a 4-entry cache, twice.
+	for round := 0; round < 2; round++ {
+		for d := 2; d < 10; d++ {
+			a := tensor.Rand(rng, 2, d)
+			b := tensor.Rand(rng, d, 3)
+			got := MustContract("ij,jk->ik", a, b)
+			want, err := contractUncached("ij,jk->ik", []*tensor.Dense{a, b}, Hooks{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			assertClose(t, fmt.Sprintf("d=%d", d), got, want)
+		}
+	}
+	if _, _, ev := PlanCacheStats(); ev == 0 {
+		t.Fatal("expected evictions from a 4-entry cache under an 8-signature working set")
+	}
+}
+
+// TestPlanCacheConcurrent hits one signature and misses many from
+// several goroutines at once; run under -race this checks the
+// lock-compile-recheck path and concurrent plan replay.
+func TestPlanCacheConcurrent(t *testing.T) {
+	ResetPlanCache()
+	SetPlanCacheSize(8)
+	defer func() {
+		SetPlanCacheSize(DefaultPlanCacheSize)
+		ResetPlanCache()
+	}()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < 30; i++ {
+				d := 2 + rng.Intn(12)
+				a := tensor.Rand(rng, 3, d)
+				b := tensor.Rand(rng, d, 2)
+				got := MustContract("ij,jk->ik", a, b)
+				want, err := contractUncached("ij,jk->ik", []*tensor.Dense{a, b}, Hooks{})
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				for j, v := range got.Data() {
+					if d := v - want.Data()[j]; absc(d) > 1e-12 {
+						t.Errorf("concurrent contract diverged at %d", j)
+						return
+					}
+				}
+			}
+		}(int64(g))
+	}
+	wg.Wait()
+}
+
+// TestPlanShapeMismatch checks a compiled plan rejects operands whose
+// shapes differ from the compiled signature.
+func TestPlanShapeMismatch(t *testing.T) {
+	p, err := Compile("ij,jk->ik", [][]int{{3, 4}, {4, 5}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(46))
+	if _, err := p.Execute(tensor.Rand(rng, 3, 5), tensor.Rand(rng, 5, 5)); err == nil {
+		t.Fatal("plan accepted operands with the wrong shapes")
+	}
+	if _, err := p.Execute(tensor.Rand(rng, 3, 4)); err == nil {
+		t.Fatal("plan accepted the wrong operand count")
+	}
+}
+
+func shapesOf(ops []*tensor.Dense) [][]int {
+	shapes := make([][]int, len(ops))
+	for i, op := range ops {
+		shapes[i] = op.Shape()
+	}
+	return shapes
+}
+
+func sameMultiset(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	count := map[string]int{}
+	for _, s := range a {
+		count[s]++
+	}
+	for _, s := range b {
+		count[s]--
+		if count[s] < 0 {
+			return false
+		}
+	}
+	return true
+}
+
+func absc(c complex128) float64 {
+	r, i := real(c), imag(c)
+	if r < 0 {
+		r = -r
+	}
+	if i < 0 {
+		i = -i
+	}
+	return r + i
+}
+
+func assertClose(t *testing.T, label string, got, want *tensor.Dense) {
+	t.Helper()
+	if !tensor.SameShape(got.Shape(), want.Shape()) {
+		t.Fatalf("%s: shape %v, want %v", label, got.Shape(), want.Shape())
+	}
+	wd := want.Data()
+	for i, v := range got.Data() {
+		if absc(v-wd[i]) > 1e-10 {
+			t.Fatalf("%s: element %d = %v, want %v", label, i, v, wd[i])
+		}
+	}
+}

@@ -5,8 +5,10 @@ import (
 	"math"
 	"math/cmplx"
 	"sort"
+	"sync/atomic"
 
 	"gokoala/internal/obs"
+	"gokoala/internal/pool"
 	"gokoala/internal/tensor"
 )
 
@@ -78,21 +80,49 @@ func svdJacobi(a *tensor.Dense) (u *tensor.Dense, s []float64, v *tensor.Dense) 
 	}
 
 	const tol = 1e-14
+	// Round-robin tournament (circle method) pair ordering: each of the
+	// nc-1 rounds in a sweep pairs every column exactly once, so the
+	// nc/2 rotations of a round touch pairwise-disjoint columns and run
+	// concurrently on the worker pool. The schedule is fixed before the
+	// sweep starts, so the result is bit-identical for any worker count.
+	nc := n
+	if nc%2 == 1 {
+		nc++ // odd column count: one slot sits out each round
+	}
+	pos := make([]int, nc)
+	for i := range pos {
+		pos[i] = i
+	}
+	grain := int(65536/int64(7*m)) + 1
+	var rotated atomic.Bool
 	for sweep := 0; sweep < maxJacobiSweeps; sweep++ {
-		rotated := false
-		for p := 0; p < n; p++ {
-			for q := p + 1; q < n; q++ {
-				alpha, beta, gamma := colGram(cols[p], cols[q])
-				if cmplx.Abs(gamma) <= tol*math.Sqrt(alpha*beta) {
-					continue
+		rotated.Store(false)
+		for round := 0; round < nc-1; round++ {
+			pool.For(nc/2, grain, func(lo, hi int) {
+				for w := lo; w < hi; w++ {
+					p, q := pos[w], pos[nc-1-w]
+					if p >= n || q >= n {
+						continue // the padded slot of an odd tournament
+					}
+					if p > q {
+						p, q = q, p
+					}
+					alpha, beta, gamma := colGram(cols[p], cols[q])
+					if cmplx.Abs(gamma) <= tol*math.Sqrt(alpha*beta) {
+						continue
+					}
+					rotated.Store(true)
+					c, sn, phase := jacobiRotation(alpha, beta, gamma)
+					rotateCols(cols[p], cols[q], c, sn, phase)
+					rotateCols(vcols[p], vcols[q], c, sn, phase)
 				}
-				rotated = true
-				c, sn, phase := jacobiRotation(alpha, beta, gamma)
-				rotateCols(cols[p], cols[q], c, sn, phase)
-				rotateCols(vcols[p], vcols[q], c, sn, phase)
-			}
+			})
+			// Advance the circle: slot 0 stays, the rest shift one step.
+			last := pos[nc-1]
+			copy(pos[2:], pos[1:nc-1])
+			pos[1] = last
 		}
-		if !rotated {
+		if !rotated.Load() {
 			break
 		}
 	}

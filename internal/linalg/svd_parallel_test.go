@@ -1,0 +1,91 @@
+package linalg
+
+import (
+	"math/cmplx"
+	"math/rand"
+	"testing"
+
+	"gokoala/internal/pool"
+	"gokoala/internal/tensor"
+)
+
+// TestSVDWorkerCountInvariant verifies the round-robin Jacobi sweep
+// returns bit-identical factors for 1 and 4 workers: the tournament
+// schedule is fixed before each sweep and every round's rotations touch
+// disjoint column pairs, so the partition cannot change the arithmetic.
+func TestSVDWorkerCountInvariant(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	defer pool.SetWorkers(0)
+	for _, sz := range []struct{ m, n int }{{6, 6}, {16, 9}, {9, 16}, {40, 24}, {7, 1}} {
+		a := tensor.Rand(rng, sz.m, sz.n)
+		pool.SetWorkers(1)
+		u1, s1, v1 := SVD(a)
+		pool.SetWorkers(4)
+		u4, s4, v4 := SVD(a)
+		for i := range s1 {
+			if s1[i] != s4[i] {
+				t.Fatalf("%dx%d: singular value %d differs between 1 and 4 workers: %v vs %v", sz.m, sz.n, i, s1[i], s4[i])
+			}
+		}
+		for i, v := range u1.Data() {
+			if v != u4.Data()[i] {
+				t.Fatalf("%dx%d: U element %d differs between worker counts", sz.m, sz.n, i)
+			}
+		}
+		for i, v := range v1.Data() {
+			if v != v4.Data()[i] {
+				t.Fatalf("%dx%d: V element %d differs between worker counts", sz.m, sz.n, i)
+			}
+		}
+	}
+}
+
+// TestSVDParallelReconstruction re-checks A = U diag(s) V* and factor
+// orthonormality under a multi-worker pool, including odd column counts
+// (which exercise the padded tournament slot).
+func TestSVDParallelReconstruction(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	pool.SetWorkers(4)
+	defer pool.SetWorkers(0)
+	for _, sz := range []struct{ m, n int }{{8, 8}, {12, 7}, {7, 12}, {15, 15}, {5, 3}} {
+		a := tensor.Rand(rng, sz.m, sz.n)
+		u, s, v := SVD(a)
+		k := len(s)
+		// Reconstruct and compare elementwise.
+		recon := tensor.New(sz.m, sz.n)
+		rd, ud, vd := recon.Data(), u.Data(), v.Data()
+		for i := 0; i < sz.m; i++ {
+			for j := 0; j < sz.n; j++ {
+				var acc complex128
+				for l := 0; l < k; l++ {
+					acc += ud[i*k+l] * complex(s[l], 0) * cmplx.Conj(vd[j*k+l])
+				}
+				rd[i*sz.n+j] = acc
+			}
+		}
+		if !tensor.AllClose(recon, a, 1e-9, 1e-9) {
+			t.Fatalf("%dx%d: U s V* does not reconstruct A under 4 workers", sz.m, sz.n)
+		}
+		for i := 1; i < k; i++ {
+			if s[i] > s[i-1] {
+				t.Fatalf("%dx%d: singular values not descending: %v", sz.m, sz.n, s)
+			}
+		}
+		// U*U = I.
+		for c1 := 0; c1 < k; c1++ {
+			for c2 := 0; c2 < k; c2++ {
+				var dot complex128
+				for i := 0; i < sz.m; i++ {
+					dot += cmplx.Conj(ud[i*k+c1]) * ud[i*k+c2]
+				}
+				want := complex128(0)
+				if c1 == c2 {
+					want = 1
+				}
+				if d := dot - want; real(d)*real(d)+imag(d)*imag(d) > 1e-18 {
+					t.Fatalf("%dx%d: U columns %d,%d not orthonormal: %v", sz.m, sz.n, c1, c2, dot)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,151 @@
+// Package pool provides the process-wide pool of persistent worker
+// goroutines the compute kernels run on. A fixed set of workers is
+// started on first use and fed through a buffered work channel, so hot
+// paths (batched GEMM partitions, blocked transposes, Jacobi rotation
+// rounds) never pay per-call goroutine spawning.
+//
+// The unit of work is a half-open index range: For splits [0, n) into
+// disjoint chunks and runs the body once per chunk, one chunk on the
+// calling goroutine and the rest on the workers. Because chunks are
+// disjoint, bodies may write to shared output slices without locking.
+//
+// Bodies must not call back into the pool: nested For calls execute
+// inline on the submitting goroutine, which is correct but serial.
+package pool
+
+import (
+	"runtime"
+	"sync"
+
+	"gokoala/internal/obs"
+)
+
+// Dispatch observability: chunks handed to workers versus chunks the
+// submitting goroutine ran because the queue was full.
+var (
+	obsPoolTasks  = obs.NewCounter("pool.tasks")
+	obsPoolInline = obs.NewCounter("pool.inline")
+)
+
+type task struct {
+	body   func(lo, hi int)
+	lo, hi int
+	wg     *sync.WaitGroup
+}
+
+var (
+	mu    sync.Mutex
+	size  int       // worker count of the running pool; 0 = not started
+	queue chan task // nil until the pool starts
+)
+
+// queueDepth is the per-worker submission buffer; submissions beyond it
+// run inline on the caller instead of blocking.
+const queueDepth = 8
+
+// Size returns the worker count parallel kernels should split work for:
+// the running pool's size, or GOMAXPROCS if the pool has not started.
+func Size() int {
+	mu.Lock()
+	defer mu.Unlock()
+	if size > 0 {
+		return size
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// SetWorkers resizes the pool to n workers (n <= 0 restores the
+// GOMAXPROCS default). Already-submitted work completes on the old
+// workers. Intended for tests and for tuning long-running services;
+// kernels cap their own parallelism per call via the max argument of
+// ForMax instead.
+func SetWorkers(n int) {
+	if n <= 0 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if size == n {
+		return
+	}
+	if queue != nil {
+		close(queue) // old workers drain their queue and exit
+	}
+	start(n)
+}
+
+// ensure returns the work queue, starting the pool if needed.
+func ensure() chan task {
+	mu.Lock()
+	defer mu.Unlock()
+	if queue == nil {
+		start(runtime.GOMAXPROCS(0))
+	}
+	return queue
+}
+
+// start launches n workers on a fresh queue. Caller holds mu.
+func start(n int) {
+	size = n
+	queue = make(chan task, n*queueDepth)
+	for i := 0; i < n; i++ {
+		go worker(queue)
+	}
+}
+
+func worker(q chan task) {
+	for t := range q {
+		t.body(t.lo, t.hi)
+		t.wg.Done()
+	}
+}
+
+// For splits [0, n) into chunks of at least grain indices and runs body
+// over the chunks in parallel, returning when all chunks are done. With
+// one chunk (small n, or a single-worker pool) the body runs inline on
+// the calling goroutine with no synchronization at all.
+func For(n, grain int, body func(lo, hi int)) { ForMax(0, n, grain, body) }
+
+// ForMax is For with an additional cap on the number of chunks
+// (max <= 0 means the pool size). Engines expose their own worker-count
+// knobs by passing them here.
+func ForMax(max, n, grain int, body func(lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	if grain < 1 {
+		grain = 1
+	}
+	chunks := Size()
+	if max > 0 && max < chunks {
+		chunks = max
+	}
+	if byGrain := (n + grain - 1) / grain; byGrain < chunks {
+		chunks = byGrain
+	}
+	if chunks <= 1 {
+		body(0, n)
+		return
+	}
+	q := ensure()
+	var wg sync.WaitGroup
+	for c := 1; c < chunks; c++ {
+		lo, hi := n*c/chunks, n*(c+1)/chunks
+		if lo == hi {
+			continue
+		}
+		wg.Add(1)
+		select {
+		case q <- task{body, lo, hi, &wg}:
+			obsPoolTasks.Add(1)
+		default:
+			// Queue full (deep nesting or heavy concurrent use): make
+			// progress on the submitting goroutine rather than block.
+			obsPoolInline.Add(1)
+			body(lo, hi)
+			wg.Done()
+		}
+	}
+	body(0, n/chunks)
+	wg.Wait()
+}

@@ -1,0 +1,54 @@
+package tensor
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func benchMatMul(b *testing.B, m, n, k int) {
+	rng := rand.New(rand.NewSource(1))
+	x := Rand(rng, m, k)
+	y := Rand(rng, k, n)
+	b.SetBytes(int64(m*n*k) * 16)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		MatMul(x, y)
+	}
+}
+
+func BenchmarkGEMM64(b *testing.B)  { benchMatMul(b, 64, 64, 64) }
+func BenchmarkGEMM128(b *testing.B) { benchMatMul(b, 128, 128, 128) }
+func BenchmarkGEMM256(b *testing.B) { benchMatMul(b, 256, 256, 256) }
+
+// BenchmarkGEMMBatchSmall is the BMPS regime: many small multiplies.
+func BenchmarkGEMMBatchSmall(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	x := Rand(rng, 16, 32, 64)
+	y := Rand(rng, 16, 64, 32)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		BatchMatMul(x, y)
+	}
+}
+
+func BenchmarkTranspose2D(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	x := Rand(rng, 512, 512)
+	b.SetBytes(512 * 512 * 16)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		x.Transpose(1, 0)
+	}
+}
+
+// BenchmarkTranspose4D permutes the axes of a double-layer PEPS
+// intermediate, the dominant einsum data-movement shape.
+func BenchmarkTranspose4D(b *testing.B) {
+	rng := rand.New(rand.NewSource(4))
+	x := Rand(rng, 16, 16, 16, 16)
+	b.SetBytes(16 * 16 * 16 * 16 * 16)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		x.Transpose(3, 1, 2, 0)
+	}
+}

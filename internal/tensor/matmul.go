@@ -3,6 +3,8 @@ package tensor
 import (
 	"fmt"
 	"sync/atomic"
+
+	"gokoala/internal/pool"
 )
 
 // flopCount accumulates complex multiply-add counts (each counted as one
@@ -23,21 +25,41 @@ func ResetFlopCount() { flopCount.Store(0) }
 // participate in the same accounting.
 func AddFlops(n int64) { flopCount.Add(n) }
 
-const gemmBlock = 64
+const (
+	gemmBlockK = 64 // k-panel height
+	gemmBlockN = 64 // n-panel width; one panel of B is 64KB, L2-resident
+)
 
 // MatMul returns the matrix product a@b of two rank-2 tensors.
 func MatMul(a, b *Dense) *Dense {
 	if a.Rank() != 2 || b.Rank() != 2 {
 		panic(fmt.Sprintf("tensor: MatMul requires matrices, got ranks %d and %d", a.Rank(), b.Rank()))
 	}
+	out := New(a.shape[0], b.shape[1])
+	MatMulInto(out, a, b)
+	return out
+}
+
+// MatMulInto computes the matrix product a@b into out, which must be an
+// m-by-n tensor. out is overwritten, never read: the kernel stores its
+// first k-panel and accumulates the rest, so out may be an uninitialized
+// or recycled buffer. Parallel engines use it to write worker results
+// directly into a shared output instead of allocating a temporary and
+// copying; the einsum plan executor uses it to run GEMMs on pooled
+// scratch without zeroing.
+func MatMulInto(out, a, b *Dense) {
+	if a.Rank() != 2 || b.Rank() != 2 || out.Rank() != 2 {
+		panic(fmt.Sprintf("tensor: MatMulInto requires matrices, got ranks %d, %d, %d", out.Rank(), a.Rank(), b.Rank()))
+	}
 	m, ka := a.shape[0], a.shape[1]
 	kb, n := b.shape[0], b.shape[1]
 	if ka != kb {
 		panic(fmt.Sprintf("tensor: MatMul inner dimension mismatch %v x %v", a.shape, b.shape))
 	}
-	out := New(m, n)
+	if out.shape[0] != m || out.shape[1] != n {
+		panic(fmt.Sprintf("tensor: MatMulInto output shape %v, want [%d %d]", out.shape, m, n))
+	}
 	gemm(out.data, a.data, b.data, m, n, ka)
-	return out
 }
 
 // BatchMatMul multiplies batch stacks of matrices: a has shape [bt, m, k],
@@ -46,43 +68,348 @@ func BatchMatMul(a, b *Dense) *Dense {
 	if a.Rank() != 3 || b.Rank() != 3 {
 		panic(fmt.Sprintf("tensor: BatchMatMul requires rank-3 operands, got %d and %d", a.Rank(), b.Rank()))
 	}
+	out := New(a.shape[0], a.shape[1], b.shape[2])
+	BatchMatMulInto(out, a, b)
+	return out
+}
+
+// BatchMatMulInto computes the batched product a@b into out, which must
+// have shape [bt, m, n]. Like MatMulInto it overwrites out without
+// reading it, so recycled buffers need no zeroing.
+func BatchMatMulInto(out, a, b *Dense) {
+	if a.Rank() != 3 || b.Rank() != 3 || out.Rank() != 3 {
+		panic(fmt.Sprintf("tensor: BatchMatMulInto requires rank-3 operands, got %d, %d, %d", out.Rank(), a.Rank(), b.Rank()))
+	}
 	bt, m, ka := a.shape[0], a.shape[1], a.shape[2]
 	bt2, kb, n := b.shape[0], b.shape[1], b.shape[2]
 	if bt != bt2 || ka != kb {
 		panic(fmt.Sprintf("tensor: BatchMatMul shape mismatch %v x %v", a.shape, b.shape))
 	}
-	out := New(bt, m, n)
-	for i := 0; i < bt; i++ {
-		gemm(out.data[i*m*n:(i+1)*m*n], a.data[i*m*ka:(i+1)*m*ka], b.data[i*ka*n:(i+1)*ka*n], m, n, ka)
+	if out.shape[0] != bt || out.shape[1] != m || out.shape[2] != n {
+		panic(fmt.Sprintf("tensor: BatchMatMulInto output shape %v, want [%d %d %d]", out.shape, bt, m, n))
 	}
-	return out
+	batchGEMM(out.data, a.data, b.data, bt, m, n, ka)
 }
 
-// gemm computes C += A@B for row-major C (m x n), A (m x k), B (k x n).
-// It blocks over k and n for cache locality and uses an i-k-j loop so the
-// inner loop streams through contiguous rows of B and C.
+// batchGEMM runs bt independent m x n x k multiplies, splitting the
+// bt*m output rows over the worker pool with a flop-based grain so
+// small batches stay inline on the caller. Row ranges are disjoint, so
+// workers write the shared output without synchronization.
+func batchGEMM(c, a, b []complex128, bt, m, n, k int) {
+	grain := int(65536/(int64(n)*int64(k))) + 1
+	pool.For(bt*m, grain, func(lo, hi int) {
+		for r := lo; r < hi; {
+			t, i := r/m, r%m
+			rows := min(m-i, hi-r)
+			gemm(c[(t*m+i)*n:(t*m+i+rows)*n], a[(t*m+i)*k:(t*m+i+rows)*k], b[t*k*n:(t+1)*k*n], rows, n, k)
+			r += rows
+		}
+	})
+}
+
+// gemm computes C = A@B for row-major C (m x n), A (m x k), B (k x n).
+// C is overwritten, not accumulated into: the first k-panel stores and
+// later panels accumulate, so C never needs pre-zeroing. It blocks over
+// k and n so the active panel of B stays cache-resident, packs each
+// panel column-major, and hands it to the register-blocked microkernel.
+// Very short multiplies skip packing (nothing to amortize it over).
 func gemm(c, a, b []complex128, m, n, k int) {
 	flopCount.Add(int64(m) * int64(n) * int64(k))
-	for kk := 0; kk < k; kk += gemmBlock {
-		kMax := min(kk+gemmBlock, k)
-		for jj := 0; jj < n; jj += gemmBlock {
-			jMax := min(jj+gemmBlock, n)
-			for i := 0; i < m; i++ {
-				arow := a[i*k : (i+1)*k]
-				crow := c[i*n+jj : i*n+jMax]
-				for l := kk; l < kMax; l++ {
-					ail := arow[l]
-					if ail == 0 {
-						continue
-					}
-					brow := b[l*n+jj : l*n+jMax]
-					for j := range crow {
-						crow[j] += ail * brow[j]
-					}
+	if m < 4 || k < 8 {
+		// Too few rows to amortize packing, or a contraction so short
+		// that streaming rows of B beats touching a packed panel.
+		gemmSmall(c, a, b, m, n, k)
+		return
+	}
+	var packBuf [gemmBlockK * gemmBlockN]complex128
+	for kk := 0; kk < k; kk += gemmBlockK {
+		kMax := min(kk+gemmBlockK, k)
+		for jj := 0; jj < n; jj += gemmBlockN {
+			jMax := min(jj+gemmBlockN, n)
+			// Pack B[kk:kMax, jj:jMax] column-major so the microkernel
+			// streams every operand sequentially.
+			kLen := kMax - kk
+			pack := packBuf[:kLen*(jMax-jj)]
+			for j := jj; j < jMax; j++ {
+				col := pack[(j-jj)*kLen : (j-jj+1)*kLen]
+				bo := kk*n + j
+				for l := range col {
+					col[l] = b[bo]
+					bo += n
 				}
+			}
+			gemmPanel(c, a, pack, m, n, k, kk, kLen, jj, jMax, kk == 0)
+		}
+	}
+}
+
+// gemmSmall is the fallback i-k-j kernel for multiplies with very few
+// output rows or a very short contracted dimension, where panel packing
+// cannot be amortized. The first k step (or pair) overwrites the C row
+// so C need not be zeroed; later pairs of k steps share one pass over
+// the row.
+func gemmSmall(c, a, b []complex128, m, n, k int) {
+	for i := 0; i < m; i++ {
+		arow := a[i*k : (i+1)*k]
+		crow := c[i*n : (i+1)*n]
+		b0 := b[:n]
+		var l int
+		if k > 1 {
+			a0, a1 := arow[0], arow[1]
+			b1 := b[n : 2*n][:len(b0)]
+			for j := range crow {
+				crow[j] = a0*b0[j] + a1*b1[j]
+			}
+			l = 2
+		} else {
+			a0 := arow[0]
+			for j := range crow {
+				crow[j] = a0 * b0[j]
+			}
+			l = 1
+		}
+		for ; l+1 < k; l += 2 {
+			a0, a1 := arow[l], arow[l+1]
+			b0 := b[l*n : (l+1)*n]
+			b1 := b[(l+1)*n : (l+2)*n][:len(b0)]
+			for j := range crow {
+				crow[j] += a0*b0[j] + a1*b1[j]
+			}
+		}
+		if l < k {
+			al := arow[l]
+			brow := b[l*n : (l+1)*n]
+			for j := range crow {
+				crow[j] += al * brow[j]
 			}
 		}
 	}
+}
+
+// gemmPanel applies C[:, jj:jMax] (+)= A[:, kk:kk+kLen] @ packed panel,
+// where pack holds the B panel column-major (kLen elements per column)
+// and store selects overwrite (first k-panel) versus accumulate. The
+// 2x2 register accumulators give four independent sums per inner
+// iteration to hide multiply latency, every load is sequential, and C is
+// touched once per k-panel instead of once per k step. The inner loop is
+// branch-free — no zero-skip test — so it pipelines.
+func gemmPanel(c, a, pack []complex128, m, n, k, kk, kLen, jj, jMax int, store bool) {
+	var i int
+	for i = 0; i+1 < m; i += 2 {
+		a0 := a[i*k+kk : i*k+kk+kLen]
+		a1 := a[(i+1)*k+kk : (i+1)*k+kk+kLen]
+		c0 := c[i*n : i*n+jMax]
+		c1 := c[(i+1)*n : (i+1)*n+jMax]
+		j := jj
+		for ; j+1 < jMax; j += 2 {
+			// Reslicing to a0's length lets the compiler drop the bounds
+			// checks in the inner loop.
+			b0 := pack[(j-jj)*kLen:][:len(a0)]
+			b1 := pack[(j-jj+1)*kLen:][:len(a0)]
+			a1 := a1[:len(a0)]
+			var s00, s01, s10, s11 complex128
+			for l := range a0 {
+				av0, av1 := a0[l], a1[l]
+				bv0, bv1 := b0[l], b1[l]
+				s00 += av0 * bv0
+				s01 += av0 * bv1
+				s10 += av1 * bv0
+				s11 += av1 * bv1
+			}
+			if store {
+				c0[j], c0[j+1] = s00, s01
+				c1[j], c1[j+1] = s10, s11
+			} else {
+				c0[j] += s00
+				c0[j+1] += s01
+				c1[j] += s10
+				c1[j+1] += s11
+			}
+		}
+		if j < jMax {
+			b0 := pack[(j-jj)*kLen : (j-jj+1)*kLen]
+			var s0, s1 complex128
+			for l := range a0 {
+				bv := b0[l]
+				s0 += a0[l] * bv
+				s1 += a1[l] * bv
+			}
+			if store {
+				c0[j], c1[j] = s0, s1
+			} else {
+				c0[j] += s0
+				c1[j] += s1
+			}
+		}
+	}
+	if i < m {
+		a0 := a[i*k+kk : i*k+kk+kLen]
+		c0 := c[i*n : i*n+jMax]
+		for j := jj; j < jMax; j++ {
+			b0 := pack[(j-jj)*kLen : (j-jj+1)*kLen]
+			var s complex128
+			for l := range a0 {
+				s += a0[l] * b0[l]
+			}
+			if store {
+				c0[j] = s
+			} else {
+				c0[j] += s
+			}
+		}
+	}
+}
+
+// BatchMatMulScatter computes the batched product a@b — a of shape
+// [bt, m, k], b of shape [bt, k, n] — and writes element (t, i, j) to
+// dst[bMap[t]+iMap[i]+jMap[j]] instead of storing the product densely.
+// The offset tables let a GEMM absorb the axis permutation that would
+// otherwise run as a separate materializing transpose over the full
+// product: the einsum plan compiler fuses short-k GEMMs with the
+// transpose consuming them this way, precomputing the tables once per
+// plan. dst is overwritten, never read; output rows are split over the
+// worker pool (rows land on disjoint destination offsets, so workers
+// never conflict).
+func BatchMatMulScatter(dst []complex128, a, b *Dense, bMap, iMap, jMap []int) {
+	if a.Rank() != 3 || b.Rank() != 3 {
+		panic(fmt.Sprintf("tensor: BatchMatMulScatter requires rank-3 operands, got %d and %d", a.Rank(), b.Rank()))
+	}
+	bt, m, ka := a.shape[0], a.shape[1], a.shape[2]
+	bt2, kb, n := b.shape[0], b.shape[1], b.shape[2]
+	if bt != bt2 || ka != kb {
+		panic(fmt.Sprintf("tensor: BatchMatMulScatter shape mismatch %v x %v", a.shape, b.shape))
+	}
+	if len(bMap) != bt || len(iMap) != m || len(jMap) != n {
+		panic("tensor: BatchMatMulScatter offset table sizes do not match operand shapes")
+	}
+	flopCount.Add(int64(bt) * int64(m) * int64(n) * int64(ka))
+	// Destinations usually come in short contiguous runs (the innermost
+	// output axis is normally a free letter of b). Detect runs of four so
+	// the hot loops store four-wide with a single table lookup.
+	run4 := n%4 == 0
+	for j := 0; run4 && j < n; j += 4 {
+		o := jMap[j]
+		if jMap[j+1] != o+1 || jMap[j+2] != o+2 || jMap[j+3] != o+3 {
+			run4 = false
+		}
+	}
+	// When groups of four consecutive rows advance the destination by
+	// exactly one j-run (an interleaving transpose, like the PEPS
+	// double-layer merge), the four rows' runs tile a contiguous
+	// 16-element block: process them together so every loaded b value
+	// feeds four outputs and stores land in 256-byte sequential chunks.
+	irun4 := run4 && m%4 == 0
+	for i := 0; irun4 && i < m; i += 4 {
+		o := iMap[i]
+		if iMap[i+1] != o+4 || iMap[i+2] != o+8 || iMap[i+3] != o+12 {
+			irun4 = false
+		}
+	}
+	grain := int(65536/(int64(n)*int64(ka))) + 1
+	pool.For(bt*m, grain, func(lo, hi int) {
+		var row []complex128
+		if ka > 2 {
+			row = make([]complex128, n)
+		}
+		for r := lo; r < hi; r++ {
+			t, i := r/m, r%m
+			arow := a.data[r*ka : (r+1)*ka]
+			bb := b.data[t*ka*n : (t+1)*ka*n]
+			base := bMap[t] + iMap[i]
+			if ka <= 2 {
+				// Short contraction: compute and scatter in one pass.
+				b0 := bb[:n]
+				a0 := arow[0]
+				switch {
+				case ka == 2 && irun4 && i%4 == 0 && r+3 < hi:
+					// Four-row block: rows i..i+3 write the contiguous
+					// 16-element runs base+jMap[j] .. +15.
+					a1 := arow[1]
+					ar := a.data[(r+1)*ka : (r+4)*ka]
+					c0, c1 := ar[0], ar[1]
+					e0, e1 := ar[2], ar[3]
+					g0, g1 := ar[4], ar[5]
+					b1 := bb[n : 2*n][:len(b0)]
+					for j := 0; j+3 < len(b0); j += 4 {
+						v0, v1, v2, v3 := b0[j], b0[j+1], b0[j+2], b0[j+3]
+						w0, w1, w2, w3 := b1[j], b1[j+1], b1[j+2], b1[j+3]
+						d := dst[base+jMap[j]:]
+						_ = d[15]
+						d[0], d[1], d[2], d[3] = a0*v0+a1*w0, a0*v1+a1*w1, a0*v2+a1*w2, a0*v3+a1*w3
+						d[4], d[5], d[6], d[7] = c0*v0+c1*w0, c0*v1+c1*w1, c0*v2+c1*w2, c0*v3+c1*w3
+						d[8], d[9], d[10], d[11] = e0*v0+e1*w0, e0*v1+e1*w1, e0*v2+e1*w2, e0*v3+e1*w3
+						d[12], d[13], d[14], d[15] = g0*v0+g1*w0, g0*v1+g1*w1, g0*v2+g1*w2, g0*v3+g1*w3
+					}
+					r += 3
+				case ka == 2 && run4:
+					a1 := arow[1]
+					b1 := bb[n : 2*n][:len(b0)]
+					for j := 0; j+3 < len(b0); j += 4 {
+						d := dst[base+jMap[j]:]
+						_ = d[3]
+						d[0] = a0*b0[j] + a1*b1[j]
+						d[1] = a0*b0[j+1] + a1*b1[j+1]
+						d[2] = a0*b0[j+2] + a1*b1[j+2]
+						d[3] = a0*b0[j+3] + a1*b1[j+3]
+					}
+				case ka == 2:
+					a1 := arow[1]
+					b1 := bb[n : 2*n][:len(b0)]
+					for j, v := range b0 {
+						dst[base+jMap[j]] = a0*v + a1*b1[j]
+					}
+				case run4:
+					for j := 0; j+3 < len(b0); j += 4 {
+						d := dst[base+jMap[j]:]
+						_ = d[3]
+						d[0] = a0 * b0[j]
+						d[1] = a0 * b0[j+1]
+						d[2] = a0 * b0[j+2]
+						d[3] = a0 * b0[j+3]
+					}
+				default:
+					for j, v := range b0 {
+						dst[base+jMap[j]] = a0 * v
+					}
+				}
+				continue
+			}
+			// General k: accumulate the row in scratch with the same
+			// summation order as gemmSmall, then scatter it once.
+			b0 := bb[:n]
+			a0, a1 := arow[0], arow[1]
+			b1 := bb[n : 2*n][:len(b0)]
+			for j := range row {
+				row[j] = a0*b0[j] + a1*b1[j]
+			}
+			var l int
+			for l = 2; l+1 < ka; l += 2 {
+				a0, a1 := arow[l], arow[l+1]
+				b0 := bb[l*n : (l+1)*n]
+				b1 := bb[(l+1)*n : (l+2)*n][:len(b0)]
+				for j := range row {
+					row[j] += a0*b0[j] + a1*b1[j]
+				}
+			}
+			if l < ka {
+				al := arow[l]
+				brow := bb[l*n : (l+1)*n]
+				for j := range row {
+					row[j] += al * brow[j]
+				}
+			}
+			if run4 {
+				for j := 0; j+3 < len(row); j += 4 {
+					o := base + jMap[j]
+					dst[o], dst[o+1], dst[o+2], dst[o+3] = row[j], row[j+1], row[j+2], row[j+3]
+				}
+			} else {
+				for j, v := range row {
+					dst[base+jMap[j]] = v
+				}
+			}
+		}
+	})
 }
 
 // MatVec returns the matrix-vector product a@x for a rank-2 a and rank-1 x.
@@ -105,11 +432,4 @@ func MatVec(a, x *Dense) *Dense {
 		out.data[i] = s
 	}
 	return out
-}
-
-func min(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
 }

@@ -1,0 +1,310 @@
+package tensor
+
+import (
+	"math/rand"
+	"testing"
+
+	"gokoala/internal/pool"
+)
+
+// naiveMatMul is the reference triple loop the blocked kernels are
+// checked against.
+func naiveMatMul(a, b *Dense) *Dense {
+	m, k := a.Dim(0), a.Dim(1)
+	n := b.Dim(1)
+	out := New(m, n)
+	ad, bd, od := a.Data(), b.Data(), out.Data()
+	for i := 0; i < m; i++ {
+		for l := 0; l < k; l++ {
+			v := ad[i*k+l]
+			for j := 0; j < n; j++ {
+				od[i*n+j] += v * bd[l*n+j]
+			}
+		}
+	}
+	return out
+}
+
+func closeTo(a, b complex128, tol float64) bool {
+	d := a - b
+	m := real(d)*real(d) + imag(d)*imag(d)
+	return m <= tol*tol
+}
+
+// TestMatMulKernelRegimes sweeps sizes across the small-kernel and
+// packed-panel regimes, including dimensions that are not multiples of
+// the register block or the panel size.
+func TestMatMulKernelRegimes(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	sizes := []struct{ m, k, n int }{
+		{1, 1, 1}, {2, 3, 4}, {3, 8, 5}, {4, 8, 4}, {5, 9, 7},
+		{8, 64, 8}, {16, 16, 16}, {17, 65, 33}, {64, 64, 64},
+		{1, 128, 1}, {70, 70, 70},
+	}
+	for _, sz := range sizes {
+		a := Rand(rng, sz.m, sz.k)
+		b := Rand(rng, sz.k, sz.n)
+		got := MatMul(a, b)
+		want := naiveMatMul(a, b)
+		for i, v := range got.Data() {
+			if !closeTo(v, want.Data()[i], 1e-10) {
+				t.Fatalf("MatMul %dx%dx%d: element %d = %v, want %v", sz.m, sz.k, sz.n, i, v, want.Data()[i])
+			}
+		}
+	}
+}
+
+// TestMatMulIntoOverwritesDirtyBuffer confirms the Into kernels treat
+// the destination as write-only: garbage in the buffer must not leak
+// into the result (the plan executor reuses pooled frames without
+// zeroing them).
+func TestMatMulIntoOverwritesDirtyBuffer(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	for _, sz := range []struct{ m, k, n int }{{3, 2, 4}, {8, 64, 8}, {17, 9, 5}} {
+		a := Rand(rng, sz.m, sz.k)
+		b := Rand(rng, sz.k, sz.n)
+		dirty := make([]complex128, sz.m*sz.n)
+		for i := range dirty {
+			dirty[i] = complex(1e30, -1e30)
+		}
+		dst := FromData(dirty, sz.m, sz.n)
+		MatMulInto(dst, a, b)
+		want := naiveMatMul(a, b)
+		for i, v := range dst.Data() {
+			if !closeTo(v, want.Data()[i], 1e-10) {
+				t.Fatalf("MatMulInto %v: dirty buffer leaked into element %d: %v want %v", sz, i, v, want.Data()[i])
+			}
+		}
+	}
+}
+
+// TestBatchMatMulAgainstNaive checks the batched kernel per batch entry,
+// on dirty destinations, across worker counts.
+func TestBatchMatMulAgainstNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	defer pool.SetWorkers(0)
+	for _, workers := range []int{1, 4} {
+		pool.SetWorkers(workers)
+		for _, sz := range []struct{ bt, m, k, n int }{
+			{1, 4, 4, 4}, {3, 5, 2, 7}, {8, 16, 64, 16}, {2, 1, 1, 1}, {16, 8, 8, 8},
+		} {
+			a := Rand(rng, sz.bt, sz.m, sz.k)
+			b := Rand(rng, sz.bt, sz.k, sz.n)
+			dirty := make([]complex128, sz.bt*sz.m*sz.n)
+			for i := range dirty {
+				dirty[i] = complex(9e99, 9e99)
+			}
+			dst := FromData(dirty, sz.bt, sz.m, sz.n)
+			BatchMatMulInto(dst, a, b)
+			for bt := 0; bt < sz.bt; bt++ {
+				av := FromData(a.Data()[bt*sz.m*sz.k:(bt+1)*sz.m*sz.k], sz.m, sz.k)
+				bv := FromData(b.Data()[bt*sz.k*sz.n:(bt+1)*sz.k*sz.n], sz.k, sz.n)
+				want := naiveMatMul(av, bv)
+				gotSlab := dst.Data()[bt*sz.m*sz.n : (bt+1)*sz.m*sz.n]
+				for i, v := range gotSlab {
+					if !closeTo(v, want.Data()[i], 1e-10) {
+						t.Fatalf("workers=%d BatchMatMul %v batch %d element %d: %v want %v", workers, sz, bt, i, v, want.Data()[i])
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestBatchMatMulScatterAgainstNaive drives the fused scatter kernel
+// with randomized permutation tables and checks it against computing
+// the dense product and scattering by hand, for every k regime (k=1,
+// k=2 with and without 4-runs, general k) and worker count.
+func TestBatchMatMulScatterAgainstNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(14))
+	defer pool.SetWorkers(0)
+	sizes := []struct{ bt, m, k, n int }{
+		{1, 4, 1, 8}, {1, 4, 2, 8}, {1, 8, 2, 16}, {2, 3, 2, 5},
+		{1, 4, 3, 8}, {2, 5, 7, 6}, {1, 16, 2, 64}, {3, 1, 1, 1},
+	}
+	for _, workers := range []int{1, 4} {
+		pool.SetWorkers(workers)
+		for _, sz := range sizes {
+			a := Rand(rng, sz.bt, sz.m, sz.k)
+			b := Rand(rng, sz.bt, sz.k, sz.n)
+			// Random disjoint offset decomposition: dst index =
+			// bMap[t] + iMap[i] + jMap[j] over a [bt, m, n] box with
+			// permuted strides, exactly how the plan compiler builds
+			// tables from a transposed layout.
+			perm := rng.Perm(3)
+			dims := []int{sz.bt, sz.m, sz.n}
+			strides := make([]int, 3)
+			acc := 1
+			for p := 2; p >= 0; p-- {
+				strides[perm[p]] = acc
+				acc *= dims[perm[p]]
+			}
+			bMap := rampTable(sz.bt, strides[0])
+			iMap := rampTable(sz.m, strides[1])
+			jMap := rampTable(sz.n, strides[2])
+			dst := make([]complex128, sz.bt*sz.m*sz.n)
+			for i := range dst {
+				dst[i] = complex(5e55, -5e55) // dirty: must be fully overwritten
+			}
+			BatchMatMulScatter(dst, a, b, bMap, iMap, jMap)
+			want := make([]complex128, len(dst))
+			for bt := 0; bt < sz.bt; bt++ {
+				av := FromData(a.Data()[bt*sz.m*sz.k:(bt+1)*sz.m*sz.k], sz.m, sz.k)
+				bv := FromData(b.Data()[bt*sz.k*sz.n:(bt+1)*sz.k*sz.n], sz.k, sz.n)
+				prod := naiveMatMul(av, bv)
+				for i := 0; i < sz.m; i++ {
+					for j := 0; j < sz.n; j++ {
+						want[bMap[bt]+iMap[i]+jMap[j]] = prod.Data()[i*sz.n+j]
+					}
+				}
+			}
+			for i, v := range dst {
+				if !closeTo(v, want[i], 1e-10) {
+					t.Fatalf("workers=%d scatter %v perm %v element %d: %v want %v", workers, sz, perm, i, v, want[i])
+				}
+			}
+		}
+	}
+}
+
+func rampTable(n, stride int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = i * stride
+	}
+	return out
+}
+
+// TestTransposeAgainstNaive randomizes shapes and permutations across
+// the small-copy and blocked parallel paths, for 1 and 4 workers.
+func TestTransposeAgainstNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(15))
+	defer pool.SetWorkers(0)
+	for _, workers := range []int{1, 4} {
+		pool.SetWorkers(workers)
+		for trial := 0; trial < 30; trial++ {
+			rank := 1 + rng.Intn(5)
+			shape := make([]int, rank)
+			size := 1
+			for i := range shape {
+				shape[i] = 1 + rng.Intn(9)
+				size *= shape[i]
+			}
+			if trial < 3 {
+				// Force the large blocked path with a big 2D case.
+				shape = []int{128 + rng.Intn(64), 128 + rng.Intn(64)}
+				size = shape[0] * shape[1]
+			}
+			src := Rand(rng, shape...)
+			perm := rng.Perm(len(shape))
+			got := src.Transpose(perm...)
+			// Reference: odometer over destination indices.
+			dstShape := got.Shape()
+			strides := Strides(shape)
+			idx := make([]int, len(shape))
+			for o := 0; o < size; o++ {
+				srcOff := 0
+				for d, p := range perm {
+					srcOff += idx[d] * strides[p]
+				}
+				if got.Data()[o] != src.Data()[srcOff] {
+					t.Fatalf("workers=%d transpose %v perm %v: dst %d != src %d", workers, shape, perm, o, srcOff)
+				}
+				for d := len(idx) - 1; d >= 0; d-- {
+					idx[d]++
+					if idx[d] < dstShape[d] {
+						break
+					}
+					idx[d] = 0
+				}
+			}
+		}
+	}
+}
+
+// TestTransposeIntoMatchesTranspose checks the in-place variant against
+// the allocating one on dirty buffers.
+func TestTransposeIntoMatchesTranspose(t *testing.T) {
+	rng := rand.New(rand.NewSource(16))
+	for trial := 0; trial < 10; trial++ {
+		rank := 2 + rng.Intn(3)
+		shape := make([]int, rank)
+		size := 1
+		for i := range shape {
+			shape[i] = 2 + rng.Intn(6)
+			size *= shape[i]
+		}
+		src := Rand(rng, shape...)
+		perm := rng.Perm(rank)
+		want := src.Transpose(perm...)
+		dirty := make([]complex128, size)
+		for i := range dirty {
+			dirty[i] = complex(7e77, 7e77)
+		}
+		dst := FromData(dirty, want.Shape()...)
+		TransposeInto(dst, src, perm...)
+		for i, v := range dst.Data() {
+			if v != want.Data()[i] {
+				t.Fatalf("TransposeInto %v perm %v: element %d differs", shape, perm, i)
+			}
+		}
+	}
+}
+
+// TestPooledKernelsDeterministic verifies GEMM results are bit-identical
+// across worker counts: the row partition never changes summation order.
+func TestPooledKernelsDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	a := Rand(rng, 8, 48, 32)
+	b := Rand(rng, 8, 32, 40)
+	defer pool.SetWorkers(0)
+	pool.SetWorkers(1)
+	seq := BatchMatMul(a, b)
+	pool.SetWorkers(4)
+	par := BatchMatMul(a, b)
+	for i, v := range par.Data() {
+		if v != seq.Data()[i] {
+			t.Fatalf("batched GEMM differs between 1 and 4 workers at %d: %v vs %v", i, v, seq.Data()[i])
+		}
+	}
+}
+
+func TestMatMulShapePanics(t *testing.T) {
+	rng := rand.New(rand.NewSource(18))
+	for _, f := range []func(){
+		func() { MatMul(Rand(rng, 2, 3), Rand(rng, 4, 2)) },
+		func() { BatchMatMul(Rand(rng, 2, 2, 3), Rand(rng, 3, 3, 2)) },
+		func() { MatMulInto(New(2, 2), Rand(rng, 2, 3), Rand(rng, 3, 3)) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected shape mismatch panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestWrapValidates(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Wrap accepted mismatched data length")
+		}
+	}()
+	Wrap(make([]complex128, 5), []int{2, 3})
+}
+
+// ExampleMatMul-style sanity anchor: a fixed tiny product.
+func TestMatMulFixedValues(t *testing.T) {
+	a := FromData([]complex128{1, 2, 3, 4}, 2, 2)
+	b := FromData([]complex128{5, 6, 7, 8}, 2, 2)
+	got := MatMul(a, b)
+	want := []complex128{19, 22, 43, 50}
+	for i, v := range got.Data() {
+		if v != want[i] {
+			t.Fatalf("fixed product element %d = %v, want %v", i, v, want[i])
+		}
+	}
+}

@@ -17,6 +17,8 @@ import (
 	"math/cmplx"
 	"math/rand"
 	"strings"
+
+	"gokoala/internal/pool"
 )
 
 // Dense is a dense, row-major, N-dimensional complex tensor.
@@ -41,6 +43,18 @@ func FromData(data []complex128, shape ...int) *Dense {
 		panic(fmt.Sprintf("tensor: data length %d does not match shape %v (size %d)", len(data), shape, n))
 	}
 	return &Dense{shape: append([]int(nil), shape...), data: data}
+}
+
+// Wrap is FromData without the defensive shape copy: both slices are
+// used directly. For hot paths (the einsum plan executor) that hold
+// immutable precomputed shapes; callers must not mutate either slice
+// afterwards.
+func Wrap(data []complex128, shape []int) *Dense {
+	n := checkShape(shape)
+	if n != len(data) {
+		panic(fmt.Sprintf("tensor: data length %d does not match shape %v (size %d)", len(data), shape, n))
+	}
+	return &Dense{shape: shape, data: data}
 }
 
 // Scalar returns a rank-0 tensor holding v.
@@ -175,7 +189,9 @@ func (t *Dense) Reshape(shape ...int) *Dense {
 }
 
 // Transpose returns a new contiguous tensor with axes permuted so that
-// result axis i is t's axis perm[i].
+// result axis i is t's axis perm[i]. The copy is cache-blocked and runs
+// on the worker pool for large tensors: the paper identifies transposes
+// as a dominant einsum cost, so this kernel is on the BMPS hot path.
 func (t *Dense) Transpose(perm ...int) *Dense {
 	r := len(t.shape)
 	if len(perm) != r {
@@ -200,20 +216,57 @@ func (t *Dense) Transpose(perm ...int) *Dense {
 		newShape[i] = t.shape[p]
 	}
 	out := New(newShape...)
-	oldStrides := Strides(t.shape)
-	// stride of output axis i in the input layout
-	srcStride := make([]int, r)
-	for i, p := range perm {
-		srcStride[i] = oldStrides[p]
-	}
-	copyPermuted(out.data, t.data, newShape, srcStride)
+	transposeInto(out, t, perm)
 	return out
 }
 
-// copyPermuted fills dst (row-major, shape dims) from src where the source
-// offset of dst multi-index x is sum_i x[i]*srcStride[i]. The innermost two
-// axes are unrolled into explicit loops to keep the hot path tight.
-func copyPermuted(dst, src []complex128, dims, srcStride []int) {
+// TransposeInto writes t's axis permutation into out: out axis i is t's
+// axis perm[i], and out must already have the permuted shape. out is
+// overwritten without being read, so it may be an uninitialized or
+// recycled buffer — the einsum plan executor runs its materializing
+// transposes on pooled scratch this way.
+func TransposeInto(out, t *Dense, perm ...int) {
+	r := len(t.shape)
+	if len(perm) != r {
+		panic(fmt.Sprintf("tensor: permutation %v has wrong length for rank %d", perm, r))
+	}
+	seen := make([]bool, r)
+	for _, p := range perm {
+		if p < 0 || p >= r || seen[p] {
+			panic(fmt.Sprintf("tensor: invalid permutation %v", perm))
+		}
+		seen[p] = true
+	}
+	transposeInto(out, t, perm)
+}
+
+// transposeInto is the shared permuted-copy core; perm is already
+// validated.
+func transposeInto(out, t *Dense, perm []int) {
+	oldStrides := Strides(t.shape)
+	// stride of output axis i in the input layout
+	srcStride := make([]int, len(perm))
+	for i, p := range perm {
+		if out.shape[i] != t.shape[p] {
+			panic(fmt.Sprintf("tensor: TransposeInto output shape %v does not match %v permuted by %v", out.shape, t.shape, perm))
+		}
+		srcStride[i] = oldStrides[p]
+	}
+	copyPermuted(out.data, t.data, out.shape, srcStride)
+}
+
+// transposeGrain is the minimum element count a pool chunk of a
+// permuted copy should carry; smaller copies run inline.
+const transposeGrain = 32 * 1024
+
+// transposeSmall is the element count below which a permuted copy uses
+// the plain odometer loop: tiny transposes are dominated by setup, not
+// cache behavior, so the blocked kernel's bookkeeping would be waste.
+const transposeSmall = 4096
+
+// copyPermutedSmall is the straightforward odometer copy used for small
+// tensors; the innermost two axes are unrolled into explicit loops.
+func copyPermutedSmall(dst, src []complex128, dims, srcStride []int) {
 	r := len(dims)
 	switch r {
 	case 0:
@@ -226,7 +279,6 @@ func copyPermuted(dst, src []complex128, dims, srcStride []int) {
 		}
 		return
 	}
-	// Iterate over all but the last two axes with an odometer.
 	outer := dims[:r-2]
 	n0, n1 := dims[r-2], dims[r-1]
 	s0, s1 := srcStride[r-2], srcStride[r-1]
@@ -244,7 +296,6 @@ func copyPermuted(dst, src []complex128, dims, srcStride []int) {
 			}
 			off0 += s0
 		}
-		// advance odometer
 		k := len(outer) - 1
 		for ; k >= 0; k-- {
 			idx[k]++
@@ -259,6 +310,172 @@ func copyPermuted(dst, src []complex128, dims, srcStride []int) {
 			return
 		}
 	}
+}
+
+// copyPermuted fills dst (row-major, shape dims) from src where the
+// source offset of dst multi-index x is sum_i x[i]*srcStride[i].
+//
+// The copy is organized for cache behavior on both sides: adjacent
+// output axes whose source strides chain are coalesced into one axis,
+// then the kernel runs a tiled double loop over the output's innermost
+// axis (dst-contiguous) and the axis with the smallest source stride
+// (src-contiguous or closest to it), with a plain odometer over the
+// remaining axes. Work is split over the worker pool along the odometer
+// (or, for matrix-like shapes, along the tiling axis).
+func copyPermuted(dst, src []complex128, dims, srcStride []int) {
+	if len(dst) < transposeSmall {
+		copyPermutedSmall(dst, src, dims, srcStride)
+		return
+	}
+	// Coalesce: output axes i, i+1 merge when stepping axis i in the
+	// source equals stepping axis i+1 dims[i+1] times, i.e. the pair is
+	// one contiguous run in both layouts.
+	cd := make([]int, 0, len(dims))
+	cs := make([]int, 0, len(dims))
+	for i := 0; i < len(dims); i++ {
+		if n := len(cd); n > 0 && cs[n-1] == srcStride[i]*dims[i] {
+			cd[n-1] *= dims[i]
+			cs[n-1] = srcStride[i]
+			continue
+		}
+		cd = append(cd, dims[i])
+		cs = append(cs, srcStride[i])
+	}
+	r := len(cd)
+	switch r {
+	case 0:
+		dst[0] = src[0]
+		return
+	case 1:
+		s := cs[0]
+		if s == 1 {
+			copy(dst, src[:cd[0]])
+			return
+		}
+		for i, off := 0, 0; i < cd[0]; i, off = i+1, off+s {
+			dst[i] = src[off]
+		}
+		return
+	}
+	dstStride := Strides(cd)
+
+	// The tile pair: the output's innermost axis l (dst stride 1) and
+	// the remaining axis e with the smallest source stride. When axis l
+	// itself is src-contiguous the tile degenerates to run copies and e
+	// groups nearby runs.
+	l := r - 1
+	e := -1
+	for i := 0; i < l; i++ {
+		if e < 0 || cs[i] < cs[e] {
+			e = i
+		}
+	}
+	nl, sl := cd[l], cs[l]
+	ne, se, de := cd[e], cs[e], dstStride[e]
+
+	// Odometer axes: everything except e and l, in output order.
+	var oDims, oSrc, oDst []int
+	outerN := 1
+	for i := 0; i < l; i++ {
+		if i == e {
+			continue
+		}
+		oDims = append(oDims, cd[i])
+		oSrc = append(oSrc, cs[i])
+		oDst = append(oDst, dstStride[i])
+		outerN *= cd[i]
+	}
+
+	tile := func(sb, db int) {
+		if sl == 1 && nl >= 16 {
+			for ie := 0; ie < ne; ie++ {
+				copy(dst[db+ie*de:db+ie*de+nl], src[sb+ie*se:sb+ie*se+nl])
+			}
+			return
+		}
+		if sl == 1 {
+			// Short contiguous runs: an inline loop beats memmove setup.
+			for ie := 0; ie < ne; ie++ {
+				d, s := db+ie*de, sb+ie*se
+				for j := 0; j < nl; j++ {
+					dst[d+j] = src[s+j]
+				}
+			}
+			return
+		}
+		const blk = 32
+		for ib := 0; ib < ne; ib += blk {
+			iMax := min(ib+blk, ne)
+			for jb := 0; jb < nl; jb += blk {
+				jMax := min(jb+blk, nl)
+				for ie := ib; ie < iMax; ie++ {
+					d := db + ie*de + jb
+					s := sb + ie*se + jb*sl
+					for j := jb; j < jMax; j++ {
+						dst[d] = src[s]
+						d++
+						s += sl
+					}
+				}
+			}
+		}
+	}
+
+	if outerN > 1 {
+		grain := transposeGrain / (ne * nl)
+		pool.For(outerN, grain, func(lo, hi int) {
+			// Decode the first outer index, then advance by odometer.
+			idx := make([]int, len(oDims))
+			sb, db := 0, 0
+			for k, f := len(oDims)-1, lo; k >= 0; k-- {
+				q := f % oDims[k]
+				idx[k] = q
+				sb += q * oSrc[k]
+				db += q * oDst[k]
+				f /= oDims[k]
+			}
+			for f := lo; f < hi; f++ {
+				tile(sb, db)
+				for k := len(oDims) - 1; k >= 0; k-- {
+					idx[k]++
+					sb += oSrc[k]
+					db += oDst[k]
+					if idx[k] < oDims[k] {
+						break
+					}
+					sb -= idx[k] * oSrc[k]
+					db -= idx[k] * oDst[k]
+					idx[k] = 0
+				}
+			}
+		})
+		return
+	}
+	// Matrix-like shape: parallelize along the tiling axis e instead.
+	pool.For(ne, transposeGrain/nl, func(lo, hi int) {
+		if sl == 1 {
+			for ie := lo; ie < hi; ie++ {
+				copy(dst[ie*de:ie*de+nl], src[ie*se:ie*se+nl])
+			}
+			return
+		}
+		const blk = 32
+		for ib := lo; ib < hi; ib += blk {
+			iMax := min(ib+blk, hi)
+			for jb := 0; jb < nl; jb += blk {
+				jMax := min(jb+blk, nl)
+				for ie := ib; ie < iMax; ie++ {
+					d := ie*de + jb
+					s := ie*se + jb*sl
+					for j := jb; j < jMax; j++ {
+						dst[d] = src[s]
+						d++
+						s += sl
+					}
+				}
+			}
+		}
+	})
 }
 
 // Conj returns the elementwise complex conjugate.
