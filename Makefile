@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet check bench bench-smoke clean
+.PHONY: all build test race vet check bench bench-smoke bench-sched clean
 
 all: check
 
@@ -14,10 +14,12 @@ test:
 
 # Race-check the concurrency-sensitive packages: the simulated
 # distributed runtime, the obs counters/span stack, the worker pool and
-# the kernels/planner that dispatch onto it.
+# task groups, the kernels/planner that dispatch onto them, and the
+# lattice layers (peps, mps, ite) the task scheduler drives.
 race:
 	$(GO) test -race ./internal/dist/... ./internal/obs/... ./internal/backend/... \
-		./internal/pool/... ./internal/tensor/... ./internal/einsum/... ./internal/linalg/...
+		./internal/pool/... ./internal/tensor/... ./internal/einsum/... ./internal/linalg/... \
+		./internal/einsumsvd/... ./internal/mps/... ./internal/peps/... ./internal/ite/...
 
 vet:
 	$(GO) vet ./...
@@ -32,6 +34,13 @@ bench:
 # in benchmark code without burning CI minutes on timing.
 bench-smoke:
 	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
+
+# The lattice task scheduler's end-to-end benchmarks, once, at a
+# multi-worker pool size: catches panics and scheduling deadlocks that
+# only appear with real task-group concurrency.
+bench-sched:
+	KOALA_WORKERS=4 $(GO) test -run '^$$' \
+		-bench 'BenchmarkCachedExpectation|BenchmarkCheckerboardITEStep' -benchtime 1x .
 
 clean:
 	$(GO) clean ./...

@@ -235,6 +235,38 @@ func BenchmarkFig13_EnergyMeasurement(b *testing.B) {
 	}
 }
 
+// --- lattice task scheduler: worker-count scaling benchmarks ---
+//
+// These two benchmarks are the measured payoff of the lattice-level task
+// scheduler (concurrent environment sweeps, parallel Hamiltonian terms,
+// checkerboard gate waves). Compare worker counts with e.g.
+// KOALA_WORKERS=1 vs KOALA_WORKERS=4; results are bit-identical across
+// pool sizes, only the timing changes.
+
+func BenchmarkCachedExpectation(b *testing.B) {
+	eng := backend.NewDense()
+	rng := rand.New(rand.NewSource(10))
+	state := peps.Random(eng, rng, 5, 5, 2, 3)
+	h := quantum.TransverseFieldIsing(5, 5, -1, -3.5)
+	opts := peps.ExpectationOptions{M: 6, Strategy: explicitStrategy(), UseCache: true}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		state.Expectation(h, opts)
+	}
+}
+
+func BenchmarkCheckerboardITEStep(b *testing.B) {
+	h := quantum.TransverseFieldIsing(6, 6, -1, -3.5)
+	eng := backend.NewDense()
+	state := ite.PlusState(peps.ComputationalZeros(eng, 6, 6))
+	gates := h.TrotterGates(complex(-0.05, 0))
+	opts := peps.UpdateOptions{Rank: 3, Method: peps.UpdateQR, Normalize: true}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		state.ApplyCircuit(gates, opts)
+	}
+}
+
 // --- Figure 14: one VQE objective evaluation ---
 
 func BenchmarkFig14_VQEObjectivePEPS(b *testing.B) {

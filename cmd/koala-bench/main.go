@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	koala-bench [-full] [-trace file] [-metrics file] [-json dir] <experiment>...
+//	koala-bench [-full] [-workers n] [-trace file] [-metrics file] [-json dir] <experiment>...
 //	koala-bench all
 //
 // Experiments: table2 fig7a fig7b fig8a fig8b fig9 fig10 fig11 fig12
@@ -26,11 +26,14 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
 	"time"
 
 	"gokoala/internal/bench"
+	"gokoala/internal/cliutil"
 	"gokoala/internal/einsum"
 	"gokoala/internal/obs"
+	"gokoala/internal/pool"
 	"gokoala/internal/tensor"
 )
 
@@ -39,7 +42,10 @@ func main() {
 	traceFile := flag.String("trace", "", "write a Chrome trace_event JSON file")
 	metricsFile := flag.String("metrics", "", "write a JSON-lines span/metrics log")
 	jsonDir := flag.String("json", "", "write BENCH_<suite>.json files into this directory")
+	workers := cliutil.WorkersFlag()
+	scaling := flag.Bool("scaling", true, "with -json, rerun each suite at worker counts 1,2,4,... and record the scaling curve")
 	flag.Parse()
+	cliutil.ApplyWorkers(*workers)
 	args := flag.Args()
 	if len(args) == 0 {
 		usage()
@@ -113,6 +119,17 @@ func main() {
 			obs.WriteMetrics(w)
 		}
 		if *jsonDir != "" {
+			if *scaling {
+				res.Scaling = scalingCurve(run)
+				for _, pt := range res.Scaling {
+					if pt.Workers == res.Workers {
+						res.SpeedupVs1 = pt.SpeedupVs1
+					}
+				}
+				if res.SpeedupVs1 == 0 && len(res.Scaling) > 0 && res.WallSeconds > 0 {
+					res.SpeedupVs1 = res.Scaling[0].WallSeconds / res.WallSeconds
+				}
+			}
 			path, err := bench.WriteBenchJSON(*jsonDir, res)
 			if err != nil {
 				fatal(err)
@@ -239,6 +256,34 @@ func suite(name string, full bool) (interface{}, func(io.Writer)) {
 		}
 	}
 	return nil, nil
+}
+
+// scalingCurve reruns a suite against a discard writer at worker counts
+// 1, 2, 4, ... up to the machine's CPU count, recording wall seconds and
+// speedup over the single-worker rerun. Results are bit-identical across
+// the sweep (the lattice scheduler's determinism contract), so only the
+// timing varies. The pool is restored to its entry size afterwards.
+func scalingCurve(run func(io.Writer)) []bench.ScalingPoint {
+	entry := pool.Size()
+	defer pool.SetWorkers(entry)
+	// Sweep at least to 4 workers even on smaller machines: past NumCPU
+	// the curve documents oversubscription overhead instead of speedup.
+	limit := runtime.NumCPU()
+	if limit < 4 {
+		limit = 4
+	}
+	var pts []bench.ScalingPoint
+	for w := 1; w <= limit; w *= 2 {
+		pool.SetWorkers(w)
+		secs := timeIt(func() { run(io.Discard) })
+		pts = append(pts, bench.ScalingPoint{Workers: w, WallSeconds: secs})
+	}
+	if len(pts) > 0 && pts[0].WallSeconds > 0 {
+		for i := range pts {
+			pts[i].SpeedupVs1 = pts[0].WallSeconds / pts[i].WallSeconds
+		}
+	}
+	return pts
 }
 
 // timeIt and flopsOf mirror the internal/bench helpers for whole-suite

@@ -35,7 +35,9 @@ func main() {
 	explicit := flag.Bool("explicit", false, "use explicit SVD (BMPS) instead of implicit randomized SVD (IBMPS)")
 	reference := flag.Bool("reference", true, "also compute the exact reference when the lattice is small enough")
 	oc := cliutil.ObsFlags()
+	workers := cliutil.WorkersFlag()
 	flag.Parse()
+	cliutil.ApplyWorkers(*workers)
 	if _, err := oc.Setup(); err != nil {
 		log.Fatal(err)
 	}

@@ -30,7 +30,9 @@ func main() {
 	msFlag := flag.String("ms", "1,2,4,8,16", "comma-separated contraction bond dimensions")
 	seed := cliutil.SeedFlag(7)
 	oc := cliutil.ObsFlags()
+	workers := cliutil.WorkersFlag()
 	flag.Parse()
+	cliutil.ApplyWorkers(*workers)
 	if _, err := oc.Setup(); err != nil {
 		log.Fatal(err)
 	}

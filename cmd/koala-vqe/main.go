@@ -30,7 +30,9 @@ func main() {
 	jz := flag.Float64("jz", -1, "Ising coupling")
 	hx := flag.Float64("hx", -3.5, "transverse field")
 	oc := cliutil.ObsFlags()
+	workers := cliutil.WorkersFlag()
 	flag.Parse()
+	cliutil.ApplyWorkers(*workers)
 	if _, err := oc.Setup(); err != nil {
 		log.Fatal(err)
 	}

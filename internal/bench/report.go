@@ -8,6 +8,7 @@ import (
 
 	"gokoala/internal/einsum"
 	"gokoala/internal/obs"
+	"gokoala/internal/pool"
 )
 
 // SuiteResult is the machine-readable record koala-bench emits per
@@ -37,6 +38,28 @@ type SuiteResult struct {
 	PlanCacheHits   int64   `json:"plan_cache_hits"`
 	PlanCacheMisses int64   `json:"plan_cache_misses"`
 	PlanCacheRate   float64 `json:"plan_cache_hit_rate"`
+	// Workers is the pool size the primary run used.
+	Workers int `json:"workers"`
+	// SpeedupVs1 is the wall-clock speedup at the primary worker count
+	// relative to the single-worker rerun of the scaling sweep (zero when
+	// no sweep ran).
+	SpeedupVs1 float64 `json:"speedup_vs_1,omitempty"`
+	// Scaling is the worker-count scaling curve recorded by rerunning the
+	// suite at increasing pool sizes.
+	Scaling []ScalingPoint `json:"scaling,omitempty"`
+	// Lattice task scheduler counters: tasks that got their own
+	// goroutine, tasks run inline under token contention, and coordinator
+	// seconds spent waiting on task groups.
+	GroupTasks       int64   `json:"group_tasks"`
+	GroupInline      int64   `json:"group_inline"`
+	GroupWaitSeconds float64 `json:"group_wait_seconds"`
+}
+
+// ScalingPoint is one entry of a worker-count scaling curve.
+type ScalingPoint struct {
+	Workers     int     `json:"workers"`
+	WallSeconds float64 `json:"wall_seconds"`
+	SpeedupVs1  float64 `json:"speedup_vs_1"`
 }
 
 // CollectSuiteMetrics fills the obs-derived fields of a SuiteResult from
@@ -50,6 +73,10 @@ func CollectSuiteMetrics(res *SuiteResult) {
 	if total := res.PlanCacheHits + res.PlanCacheMisses; total > 0 {
 		res.PlanCacheRate = float64(res.PlanCacheHits) / float64(total)
 	}
+	res.Workers = pool.Size()
+	res.GroupTasks = int64(obs.MetricValueOf("pool.group.tasks"))
+	res.GroupInline = int64(obs.MetricValueOf("pool.group.inline"))
+	res.GroupWaitSeconds = obs.MetricValueOf("pool.group.wait_seconds")
 }
 
 // WriteBenchJSON writes res as dir/BENCH_<suite>.json (indented, with a

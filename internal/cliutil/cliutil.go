@@ -12,11 +12,26 @@ import (
 	"os"
 
 	"gokoala/internal/obs"
+	"gokoala/internal/pool"
 )
 
 // SeedFlag registers the standard -seed flag with the given default.
 func SeedFlag(def int64) *int64 {
 	return flag.Int64("seed", def, "random seed")
+}
+
+// WorkersFlag registers the standard -workers flag. Call ApplyWorkers
+// with its value after flag.Parse.
+func WorkersFlag() *int {
+	return flag.Int("workers", 0, "worker pool size (0 = KOALA_WORKERS env or GOMAXPROCS)")
+}
+
+// ApplyWorkers resizes the worker pool when the -workers flag was given
+// a positive value; 0 keeps the KOALA_WORKERS / GOMAXPROCS default.
+func ApplyWorkers(n int) {
+	if n > 0 {
+		pool.SetWorkers(n)
+	}
 }
 
 // ObsConfig carries the shared observability flags. Zero value is

@@ -1,0 +1,50 @@
+package ite
+
+import (
+	"testing"
+
+	"gokoala/internal/backend"
+	"gokoala/internal/peps"
+	"gokoala/internal/pool"
+	"gokoala/internal/quantum"
+)
+
+// TestITEEnergiesBitIdenticalAcrossWorkers pins the determinism contract
+// of the lattice task scheduler end to end: a short ITE run (checkerboard
+// gate waves, cached parallel expectations, implicit randomized SVD)
+// must produce bit-identical energy traces for every pool size.
+func TestITEEnergiesBitIdenticalAcrossWorkers(t *testing.T) {
+	obs := quantum.TransverseFieldIsing(3, 3, -1, -2.5)
+	run := func() []float64 {
+		eng := backend.NewDense()
+		state := PlusState(peps.ComputationalZeros(eng, 3, 3))
+		res := Evolve(state, obs, Options{
+			Tau:             0.05,
+			Steps:           6,
+			EvolutionRank:   2,
+			ContractionRank: 4,
+			MeasureEvery:    2,
+			Seed:            3,
+			UseCache:        true,
+		})
+		return res.Energies
+	}
+	defer pool.SetWorkers(0)
+	var want []float64
+	for _, w := range []int{1, 2, 4, 8} {
+		pool.SetWorkers(w)
+		got := run()
+		if w == 1 {
+			want = got
+			continue
+		}
+		if len(got) != len(want) {
+			t.Fatalf("workers=%d: %d measurements, want %d", w, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("workers=%d: energy[%d] = %.17g differs from single-worker %.17g", w, i, got[i], want[i])
+			}
+		}
+	}
+}

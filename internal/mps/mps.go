@@ -135,6 +135,23 @@ func Inner(eng backend.Engine, s, t *MPS) complex128 {
 	return env.Item()
 }
 
+// CloseWith zips a top boundary MPS against a bottom boundary MPS,
+// pairing their physical legs site by site without conjugation (the
+// bottom boundary comes from a vertically flipped sweep, which already
+// accounts for orientation). This closes a bisected boundary-MPS
+// contraction: the top sweep absorbs rows 0..mid-1, the bottom sweep
+// absorbs the rest, and CloseWith joins the two fronts at the cut.
+func CloseWith(eng backend.Engine, top, bottom *MPS) complex128 {
+	if top.Len() != bottom.Len() {
+		panic("mps: CloseWith length mismatch")
+	}
+	env := tensor.Ones(1, 1)
+	for i := range top.Sites {
+		env = eng.Einsum("ac,apb,cpd->bd", env, top.Sites[i], bottom.Sites[i])
+	}
+	return env.Item()
+}
+
 // Norm returns sqrt(<s|s>).
 func (s *MPS) Norm(eng backend.Engine) float64 {
 	return math.Sqrt(math.Max(0, real(Inner(eng, s, s))))

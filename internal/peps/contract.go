@@ -8,6 +8,7 @@ import (
 	"gokoala/internal/einsumsvd"
 	"gokoala/internal/mps"
 	"gokoala/internal/obs"
+	"gokoala/internal/pool"
 	"gokoala/internal/tensor"
 )
 
@@ -75,6 +76,49 @@ func (p *PEPS) ContractScalar(opt ContractOption) complex128 {
 	sp := obs.Start("bmps.sweep").SetStr("algorithm", opt.Name()).
 		SetInt("rows", int64(p.Rows)).SetInt("cols", int64(p.Cols))
 	defer sp.End()
+
+	var m int
+	var st einsumsvd.Strategy
+	switch v := opt.(type) {
+	case Exact:
+		// The exact baseline stays a single top-down sweep: bisecting
+		// would halve the exponent of its exponential cost and distort the
+		// scaling the Figure 8 comparison measures.
+	case BMPS:
+		m, st = v.M, v.Strategy
+	case TwoLayerBMPS:
+		m, st = v.M, v.Strategy
+	default:
+		panic(fmt.Sprintf("peps: unsupported contract option %T", opt))
+	}
+
+	// Truncated contractions bisect: a top-down and a (flipped) bottom-up
+	// sweep run as two concurrent lattice tasks and meet at the cut. The
+	// bisection is applied at every worker count, so results do not depend
+	// on the pool size.
+	if sts := einsumsvd.Fork(st, 2); m > 0 && p.Rows >= 2 && sts != nil {
+		mid := p.Rows / 2
+		f := p.FlipVertical()
+		var top, bottom *mps.MPS
+		g := pool.NewGroup("bmps.bisect")
+		g.Go(func() {
+			top = p.rowMPS(0)
+			for r := 1; r < mid; r++ {
+				top = mps.ApplyMPOZipUp(p.eng, top, p.rowMPO(r), m, sts[0])
+			}
+		})
+		g.Go(func() {
+			bottom = f.rowMPS(0)
+			for r := 1; r < p.Rows-mid; r++ {
+				bottom = mps.ApplyMPOZipUp(p.eng, bottom, f.rowMPO(r), m, sts[1])
+			}
+		})
+		g.Wait()
+		// top carries the down bonds of row mid-1, bottom the up bonds of
+		// row mid — the same cut, joined without conjugation.
+		return mps.CloseWith(p.eng, top, bottom) * complex(math.Exp(p.LogScale), 0)
+	}
+
 	s := p.rowMPS(0)
 	for r := 1; r < p.Rows; r++ {
 		o := p.rowMPO(r)
@@ -85,8 +129,6 @@ func (p *PEPS) ContractScalar(opt ContractOption) complex128 {
 			s = mps.ApplyMPOZipUp(p.eng, s, o, v.M, v.Strategy)
 		case TwoLayerBMPS:
 			s = mps.ApplyMPOZipUp(p.eng, s, o, v.M, v.Strategy)
-		default:
-			panic(fmt.Sprintf("peps: unsupported contract option %T", opt))
 		}
 	}
 	// After the last row the MPS physical legs are the bottom boundary
@@ -138,14 +180,16 @@ func MergeLayers(bra, ket *PEPS) *PEPS {
 	sites := make([][]*tensor.Dense, bra.Rows)
 	for r := 0; r < bra.Rows; r++ {
 		sites[r] = make([]*tensor.Dense, bra.Cols)
-		for c := 0; c < bra.Cols; c++ {
-			a := bra.sites[r][c].Conj()
-			b := ket.sites[r][c]
-			m := eng.Einsum("ULDRp,uldrp->UuLlDdRr", a, b)
-			sh := m.Shape()
-			sites[r][c] = m.Reshape(sh[0]*sh[1], sh[2]*sh[3], sh[4]*sh[5], sh[6]*sh[7], 1)
-		}
 	}
+	// Per-site merges are independent; fan them out across the pool.
+	pool.Tasks("peps.merge", bra.Rows*bra.Cols, func(i int) {
+		r, c := i/bra.Cols, i%bra.Cols
+		a := bra.sites[r][c].Conj()
+		b := ket.sites[r][c]
+		m := eng.Einsum("ULDRp,uldrp->UuLlDdRr", a, b)
+		sh := m.Shape()
+		sites[r][c] = m.Reshape(sh[0]*sh[1], sh[2]*sh[3], sh[4]*sh[5], sh[6]*sh[7], 1)
+	})
 	out := New(eng, sites)
 	out.LogScale = bra.LogScale + ket.LogScale
 	return out

@@ -6,6 +6,7 @@ import (
 
 	"gokoala/internal/einsumsvd"
 	"gokoala/internal/obs"
+	"gokoala/internal/pool"
 	"gokoala/internal/quantum"
 )
 
@@ -69,14 +70,37 @@ func (p *PEPS) applyTermExact(t quantum.Term) *PEPS {
 
 // expectationDirect evaluates each term with a full two-layer contraction
 // (paper equation 5 without caching): one contraction for the norm and
-// one per term.
+// one per term. The norm and all terms are independent lattice tasks;
+// they run concurrently with per-task forked strategies and a fixed-order
+// reduction, so results are bit-identical for every worker count.
 func (p *PEPS) expectationDirect(h *quantum.Observable, opts ExpectationOptions) complex128 {
-	opt := TwoLayerBMPS{M: opts.M, Strategy: opts.Strategy}
-	den := p.Inner(p, opt)
+	n := len(h.Terms)
+	sts := einsumsvd.Fork(opts.Strategy, 1+n)
+	if sts == nil {
+		opt := TwoLayerBMPS{M: opts.M, Strategy: opts.Strategy}
+		den := p.Inner(p, opt)
+		var num complex128
+		for _, t := range h.Terms {
+			phi := p.applyTermExact(t)
+			num += t.Coef * p.Inner(phi, opt)
+		}
+		return num / den
+	}
+	var den complex128
+	vals := make([]complex128, n)
+	g := pool.NewGroup("peps.expectation.terms")
+	g.Go(func() { den = p.Inner(p, TwoLayerBMPS{M: opts.M, Strategy: sts[0]}) })
+	for i, t := range h.Terms {
+		i, t := i, t
+		g.Go(func() {
+			phi := p.applyTermExact(t)
+			vals[i] = t.Coef * p.Inner(phi, TwoLayerBMPS{M: opts.M, Strategy: sts[1+i]})
+		})
+	}
+	g.Wait()
 	var num complex128
-	for _, t := range h.Terms {
-		phi := p.applyTermExact(t)
-		num += t.Coef * p.Inner(phi, opt)
+	for _, v := range vals {
+		num += v
 	}
 	return num / den
 }
@@ -84,7 +108,47 @@ func (p *PEPS) expectationDirect(h *quantum.Observable, opts ExpectationOptions)
 // expectationCached implements paper section IV-B: two full sweeps build
 // the per-row top and bottom environments of <psi|psi>, and every local
 // term is evaluated by contracting only the strip of rows it touches.
+// The two environment sweeps run concurrently, and so do the per-term
+// strip contractions; see expectationDirect for the determinism scheme.
 func (p *PEPS) expectationCached(h *quantum.Observable, opts ExpectationOptions) complex128 {
+	n := len(h.Terms)
+	sts := einsumsvd.Fork(opts.Strategy, 2+n)
+	if sts == nil {
+		return p.expectationCachedSeq(h, opts)
+	}
+	var tops, bottoms []boundary
+	eg := pool.NewGroup("peps.expectation.env")
+	eg.Go(func() { tops = p.TopEnvironments(opts.M, sts[0]) })
+	eg.Go(func() { bottoms = p.BottomEnvironments(opts.M, sts[1]) })
+	eg.Wait()
+
+	den := closeBoundaries(p.eng, tops[0], bottoms[0])
+	vals := make([]complex128, n)
+	tg := pool.NewGroup("peps.expectation.terms")
+	for i, t := range h.Terms {
+		i, t := i, t
+		st := sts[2+i]
+		tg.Go(func() {
+			rlo, rhi := p.termRowSpan(t)
+			phi := p.applyTermExact(t)
+			s := tops[rlo]
+			for r := rlo; r <= rhi; r++ {
+				s = applyTwoLayerRow(p.eng, s, p.row(r), phi.row(r), opts.M, st)
+			}
+			vals[i] = t.Coef * closeBoundaries(p.eng, s, bottoms[rhi+1])
+		})
+	}
+	tg.Wait()
+	var num complex128
+	for _, v := range vals {
+		num += v
+	}
+	return num / den
+}
+
+// expectationCachedSeq is the sequential cached evaluation, the fallback
+// for strategies that cannot be forked for concurrent use.
+func (p *PEPS) expectationCachedSeq(h *quantum.Observable, opts ExpectationOptions) complex128 {
 	tops := p.TopEnvironments(opts.M, opts.Strategy)
 	bottoms := p.BottomEnvironments(opts.M, opts.Strategy)
 

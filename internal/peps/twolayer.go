@@ -6,6 +6,7 @@ import (
 	"gokoala/internal/backend"
 	"gokoala/internal/einsumsvd"
 	"gokoala/internal/obs"
+	"gokoala/internal/pool"
 	"gokoala/internal/tensor"
 )
 
@@ -54,7 +55,11 @@ func applyTwoLayerRow(eng backend.Engine, s boundary, braRow, ketRow []*tensor.D
 	defer sp.End()
 	cols := len(s)
 	out := make(boundary, cols)
-	conj := func(c int) *tensor.Dense { return braRow[c].Conj() }
+	// The per-column bra conjugates are independent of the zip-up carry
+	// chain, so they fan out across the pool before the sweep.
+	conjs := make([]*tensor.Dense, cols)
+	pool.Tasks("twolayer.conj", cols, func(c int) { conjs[c] = braRow[c].Conj() })
+	conj := func(c int) *tensor.Dense { return conjs[c] }
 
 	if cols == 1 {
 		v := eng.Einsum("buUe,ucdrp,UCDRp->dD", s[0], conj(0), ketRow[0])
@@ -109,12 +114,40 @@ func innerTwoLayer(bra, ket *PEPS, opt TwoLayerBMPS) complex128 {
 		SetInt("rows", int64(bra.Rows)).SetInt("cols", int64(bra.Cols))
 	defer sp.End()
 	eng := bra.eng
+	scale := complex(math.Exp(bra.LogScale+ket.LogScale), 0)
+
+	// Bisected contraction: a top-down sweep over rows 0..mid-1 and a
+	// bottom-up sweep (vertically flipped, the BottomEnvironments
+	// construction) over the rest run as two concurrent lattice tasks and
+	// meet at the cut. The bisection is applied at every worker count, so
+	// results do not depend on the pool size.
+	if sts := einsumsvd.Fork(opt.Strategy, 2); bra.Rows >= 2 && sts != nil {
+		mid := bra.Rows / 2
+		fb, fk := bra.FlipVertical(), ket.FlipVertical()
+		var top, bottom boundary
+		g := pool.NewGroup("bmps.bisect")
+		g.Go(func() {
+			top = trivialBoundary(bra.Cols)
+			for r := 0; r < mid; r++ {
+				top = applyTwoLayerRow(eng, top, bra.row(r), ket.row(r), opt.M, sts[0])
+			}
+		})
+		g.Go(func() {
+			bottom = trivialBoundary(bra.Cols)
+			for r := 0; r < bra.Rows-mid; r++ {
+				bottom = applyTwoLayerRow(eng, bottom, fb.row(r), fk.row(r), opt.M, sts[1])
+			}
+		})
+		g.Wait()
+		return closeBoundaries(eng, top, bottom) * scale
+	}
+
 	s := trivialBoundary(bra.Cols)
 	for r := 0; r < bra.Rows; r++ {
 		s = applyTwoLayerRow(eng, s, bra.row(r), ket.row(r), opt.M, opt.Strategy)
 	}
 	v := closeBoundaries(eng, s, trivialBoundary(bra.Cols))
-	return v * complex(math.Exp(bra.LogScale+ket.LogScale), 0)
+	return v * scale
 }
 
 // TopEnvironments returns boundaries tops[0..Rows] where tops[k] is the

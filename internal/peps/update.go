@@ -7,6 +7,7 @@ import (
 
 	"gokoala/internal/einsumsvd"
 	"gokoala/internal/obs"
+	"gokoala/internal/pool"
 	"gokoala/internal/quantum"
 	"gokoala/internal/tensor"
 )
@@ -63,6 +64,16 @@ func (o UpdateOptions) rank() int {
 // directly (paper equation 4); non-adjacent sites are routed with SWAP
 // chains as described in paper section II-C1.
 func (p *PEPS) ApplyTwoSite(g *tensor.Dense, site1, site2 int, opts UpdateOptions) {
+	p.LogScale += p.applyTwoSiteDelta(g, site1, site2, opts)
+}
+
+// applyTwoSiteDelta applies the gate and returns the LogScale delta the
+// normalization produced instead of folding it in. Concurrent gate
+// applications on disjoint sites go through the delta forms so the
+// coordinator can sum the deltas in gate order (float addition is not
+// associative; a fixed order keeps results bit-identical across worker
+// counts).
+func (p *PEPS) applyTwoSiteDelta(g *tensor.Dense, site1, site2 int, opts UpdateOptions) float64 {
 	r1, c1 := p.Coords(site1)
 	r2, c2 := p.Coords(site2)
 	if site1 == site2 {
@@ -74,18 +85,16 @@ func (p *PEPS) ApplyTwoSite(g *tensor.Dense, site1, site2 int, opts UpdateOption
 	switch {
 	case r1 == r2 && abs(c1-c2) == 1:
 		if c1 < c2 {
-			p.applyHorizontal(g4, r1, c1, opts)
-		} else {
-			p.applyHorizontal(swapGateOrder(g4), r1, c2, opts)
+			return p.applyHorizontal(g4, r1, c1, opts)
 		}
+		return p.applyHorizontal(swapGateOrder(g4), r1, c2, opts)
 	case c1 == c2 && abs(r1-r2) == 1:
 		if r1 < r2 {
-			p.applyVertical(g4, r1, c1, opts)
-		} else {
-			p.applyVertical(swapGateOrder(g4), r2, c1, opts)
+			return p.applyVertical(g4, r1, c1, opts)
 		}
+		return p.applyVertical(swapGateOrder(g4), r2, c1, opts)
 	default:
-		p.applyRouted(g4, r1, c1, r2, c2, opts)
+		return p.applyRouted(g4, r1, c1, r2, c2, opts)
 	}
 }
 
@@ -106,29 +115,31 @@ func swapGateOrder(g4 *tensor.Dense) *tensor.Dense {
 // applyRouted brings site2's qubit adjacent to site1 with a chain of SWAP
 // gates, applies the gate, and swaps back (see routedApplications for the
 // path construction shared with the weighted simple update).
-func (p *PEPS) applyRouted(g4 *tensor.Dense, r1, c1, r2, c2 int, opts UpdateOptions) {
+func (p *PEPS) applyRouted(g4 *tensor.Dense, r1, c1, r2, c2 int, opts UpdateOptions) float64 {
 	swap := quantum.Gate4(quantum.SWAP())
+	var delta float64
 	for _, step := range routedApplications(r1, c1, r2, c2) {
 		if step.gate {
-			p.applyAdjacent(g4, step.ra, step.ca, step.rb, step.cb, opts)
+			delta += p.applyAdjacent(g4, step.ra, step.ca, step.rb, step.cb, opts)
 		} else {
-			p.applyAdjacent(swap, step.ra, step.ca, step.rb, step.cb, opts)
+			delta += p.applyAdjacent(swap, step.ra, step.ca, step.rb, step.cb, opts)
 		}
 	}
+	return delta
 }
 
 // applyAdjacent dispatches an adjacent-pair gate where (ra,ca) holds the
 // gate's first qubit.
-func (p *PEPS) applyAdjacent(g4 *tensor.Dense, ra, ca, rb, cb int, opts UpdateOptions) {
+func (p *PEPS) applyAdjacent(g4 *tensor.Dense, ra, ca, rb, cb int, opts UpdateOptions) float64 {
 	switch {
 	case ra == rb && cb == ca+1:
-		p.applyHorizontal(g4, ra, ca, opts)
+		return p.applyHorizontal(g4, ra, ca, opts)
 	case ra == rb && cb == ca-1:
-		p.applyHorizontal(swapGateOrder(g4), ra, cb, opts)
+		return p.applyHorizontal(swapGateOrder(g4), ra, cb, opts)
 	case ca == cb && rb == ra+1:
-		p.applyVertical(g4, ra, ca, opts)
+		return p.applyVertical(g4, ra, ca, opts)
 	case ca == cb && rb == ra-1:
-		p.applyVertical(swapGateOrder(g4), rb, ca, opts)
+		return p.applyVertical(swapGateOrder(g4), rb, ca, opts)
 	default:
 		panic(fmt.Sprintf("peps: sites (%d,%d) and (%d,%d) not adjacent", ra, ca, rb, cb))
 	}
@@ -136,7 +147,7 @@ func (p *PEPS) applyAdjacent(g4 *tensor.Dense, ra, ca, rb, cb int, opts UpdateOp
 
 // applyHorizontal applies the gate to sites (r,c) and (r,c+1), with the
 // gate's first qubit on (r,c).
-func (p *PEPS) applyHorizontal(g4 *tensor.Dense, r, c int, opts UpdateOptions) {
+func (p *PEPS) applyHorizontal(g4 *tensor.Dense, r, c int, opts UpdateOptions) float64 {
 	a, b := p.sites[r][c], p.sites[r][c+1]
 	var na, nb *tensor.Dense
 	if opts.Method == UpdateDirect {
@@ -158,14 +169,14 @@ func (p *PEPS) applyHorizontal(g4 *tensor.Dense, r, c int, opts UpdateOptions) {
 	p.sites[r][c] = na
 	p.sites[r][c+1] = nb
 	if opts.Normalize {
-		p.normalizeSite(r, c)
-		p.normalizeSite(r, c+1)
+		return p.siteLogNorm(r, c) + p.siteLogNorm(r, c+1)
 	}
+	return 0
 }
 
 // applyVertical applies the gate to sites (r,c) and (r+1,c), with the
 // gate's first qubit on (r,c).
-func (p *PEPS) applyVertical(g4 *tensor.Dense, r, c int, opts UpdateOptions) {
+func (p *PEPS) applyVertical(g4 *tensor.Dense, r, c int, opts UpdateOptions) float64 {
 	a, b := p.sites[r][c], p.sites[r+1][c]
 	var na, nb *tensor.Dense
 	if opts.Method == UpdateDirect {
@@ -183,43 +194,91 @@ func (p *PEPS) applyVertical(g4 *tensor.Dense, r, c int, opts UpdateOptions) {
 	p.sites[r][c] = na
 	p.sites[r+1][c] = nb
 	if opts.Normalize {
-		p.normalizeSite(r, c)
-		p.normalizeSite(r+1, c)
+		return p.siteLogNorm(r, c) + p.siteLogNorm(r+1, c)
 	}
+	return 0
 }
 
 // normalizeSite rescales a site tensor to unit Frobenius norm, folding
 // the factor into LogScale.
 func (p *PEPS) normalizeSite(r, c int) {
+	p.LogScale += p.siteLogNorm(r, c)
+}
+
+// siteLogNorm rescales a site tensor to unit Frobenius norm and returns
+// the log of the factor without touching LogScale, so concurrent updates
+// can report their scale contributions for an ordered reduction.
+func (p *PEPS) siteLogNorm(r, c int) float64 {
 	t := p.sites[r][c]
 	n := t.Norm()
 	if n == 0 {
-		return
+		return 0
 	}
 	t.ScaleInPlace(complex(1/n, 0))
-	p.LogScale += math.Log(n)
+	return math.Log(n)
 }
 
 // ApplyGate dispatches a one- or two-site TrotterGate.
 func (p *PEPS) ApplyGate(g quantum.TrotterGate, opts UpdateOptions) {
+	p.LogScale += p.applyGateDelta(g, opts)
+}
+
+// applyGateDelta is ApplyGate returning the LogScale delta instead of
+// folding it in (see applyTwoSiteDelta).
+func (p *PEPS) applyGateDelta(g quantum.TrotterGate, opts UpdateOptions) float64 {
 	switch len(g.Sites) {
 	case 1:
 		p.ApplyOneSite(g.Gate, g.Sites[0])
 		if opts.Normalize {
 			r, c := p.Coords(g.Sites[0])
-			p.normalizeSite(r, c)
+			return p.siteLogNorm(r, c)
 		}
+		return 0
 	case 2:
-		p.ApplyTwoSite(g.Gate, g.Sites[0], g.Sites[1], opts)
+		return p.applyTwoSiteDelta(g.Gate, g.Sites[0], g.Sites[1], opts)
 	default:
 		panic("peps: unsupported gate arity")
 	}
 }
 
-// ApplyCircuit applies a sequence of gates with the same options.
+// ApplyCircuit applies a sequence of gates with the same options. Gates
+// on disjoint bonds are applied concurrently in checkerboard waves (see
+// gateWaves); results are bit-identical to any worker count because the
+// wave schedule depends only on the gate list, per-gate strategies are
+// forked deterministically, and LogScale deltas are summed in gate
+// order.
 func (p *PEPS) ApplyCircuit(gates []quantum.TrotterGate, opts UpdateOptions) {
-	for _, g := range gates {
-		p.ApplyGate(g, opts)
+	sts := einsumsvd.Fork(opts.Strategy, len(gates))
+	if len(gates) < 2 || sts == nil {
+		for _, g := range gates {
+			p.ApplyGate(g, opts)
+		}
+		return
+	}
+	sp := obs.Start("peps.circuit").SetInt("gates", int64(len(gates)))
+	defer sp.End()
+	deltas := make([]float64, len(gates))
+	for _, wave := range p.gateWaves(gates) {
+		if len(wave) == 1 {
+			i := wave[0]
+			o := opts
+			o.Strategy = sts[i]
+			deltas[i] = p.applyGateDelta(gates[i], o)
+			continue
+		}
+		g := pool.NewGroup("peps.circuit.wave")
+		for _, i := range wave {
+			i := i
+			g.Go(func() {
+				o := opts
+				o.Strategy = sts[i]
+				deltas[i] = p.applyGateDelta(gates[i], o)
+			})
+		}
+		g.Wait()
+	}
+	for _, d := range deltas {
+		p.LogScale += d
 	}
 }
 

@@ -1,0 +1,150 @@
+package pool
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"gokoala/internal/obs"
+)
+
+// Lattice-level task groups. The worker pool's For/ForMax primitives
+// parallelize a single kernel; Group parallelizes the layer above it —
+// independent lattice tasks such as the two boundary-MPS sweeps of a
+// cached expectation, the per-term strip contractions, or the gates of
+// one checkerboard wave. Each task is a full algorithm step that runs
+// kernels of its own, so groups and kernels share one hierarchical
+// parallelism budget:
+//
+//   - A group task claims one worker token before it gets a goroutine of
+//     its own; with no token free it runs inline on the submitting
+//     goroutine (never blocking, so nested groups cannot deadlock).
+//     Tokens bound the lattice-level goroutine count by the pool size.
+//   - While lattice tasks are active, kernel-level splits (ForMax) see a
+//     reduced worker share — Size()/activeTasks — so the product of
+//     lattice-level and kernel-level parallelism stays at the pool size
+//     instead of oversubscribing GOMAXPROCS.
+//
+// Determinism contract: a Group never reorders results by itself — tasks
+// write to caller-indexed slots and callers reduce in fixed order — so
+// lattice algorithms driven through groups produce bit-identical results
+// for any worker count, provided each task draws its randomness from a
+// task-private source (see einsumsvd.Fork).
+
+// Scheduler observability: tasks handed their own goroutine, tasks run
+// inline because every worker token was taken (token contention), and
+// coordinator seconds spent waiting for group completion (idle time).
+var (
+	obsGroupTasks  = obs.NewCounter("pool.group.tasks")
+	obsGroupInline = obs.NewCounter("pool.group.inline")
+	obsGroupWait   = obs.NewFloatCounter("pool.group.wait_seconds")
+)
+
+// latticeActive counts group tasks currently executing (goroutine or
+// inline). ForMax divides the kernel worker share by it.
+var latticeActive atomic.Int64
+
+// tokenMu guards the worker-token count. Tokens bound how many group
+// tasks hold a private goroutine at once; the bound tracks Size() at
+// acquisition time, so SetWorkers takes effect for new tasks immediately.
+var (
+	tokenMu     sync.Mutex
+	tokensInUse int
+)
+
+func tryToken() bool {
+	tokenMu.Lock()
+	defer tokenMu.Unlock()
+	if tokensInUse >= Size() {
+		return false
+	}
+	tokensInUse++
+	return true
+}
+
+func releaseToken() {
+	tokenMu.Lock()
+	tokensInUse--
+	tokenMu.Unlock()
+}
+
+// TokensInUse reports how many lattice tasks currently hold a worker
+// token; exposed for tests and scheduler diagnostics.
+func TokensInUse() int {
+	tokenMu.Lock()
+	defer tokenMu.Unlock()
+	return tokensInUse
+}
+
+// Group is a structured set of lattice-level tasks: spawn with Go, then
+// Wait for all of them. The zero value is not usable; construct with
+// NewGroup. A Group must not be reused after Wait returns.
+type Group struct {
+	sp        *obs.Span
+	wg        sync.WaitGroup
+	panicOnce sync.Once
+	panicked  any
+}
+
+// NewGroup opens a task group. The name labels the group's obs span
+// (one span per group, covering spawn to Wait).
+func NewGroup(name string) *Group {
+	return &Group{sp: obs.Start("pool.group").SetStr("name", name)}
+}
+
+// Go submits one task. If a worker token is free the task runs on its
+// own goroutine; otherwise it runs inline on the caller before Go
+// returns, which keeps nested groups deadlock-free and guarantees
+// forward progress under full load. Bodies of one group must write to
+// disjoint locations; a panic in any body is re-raised by Wait.
+func (g *Group) Go(body func()) {
+	if tryToken() {
+		obsGroupTasks.Add(1)
+		g.wg.Add(1)
+		go func() {
+			defer g.wg.Done()
+			defer releaseToken()
+			g.run(body)
+		}()
+		return
+	}
+	obsGroupInline.Add(1)
+	g.run(body)
+}
+
+// run executes one task body with lattice-task accounting and panic
+// capture (first panic wins; Wait re-raises it).
+func (g *Group) run(body func()) {
+	latticeActive.Add(1)
+	defer latticeActive.Add(-1)
+	defer func() {
+		if r := recover(); r != nil {
+			g.panicOnce.Do(func() { g.panicked = r })
+		}
+	}()
+	body()
+}
+
+// Wait blocks until every submitted task has finished, then re-raises
+// the first task panic, if any.
+func (g *Group) Wait() {
+	start := time.Now()
+	g.wg.Wait()
+	obsGroupWait.Add(time.Since(start).Seconds())
+	g.sp.End()
+	if g.panicked != nil {
+		panic(g.panicked)
+	}
+}
+
+// Tasks runs body(0..n-1) as one task group and waits for completion.
+// The convenience form of NewGroup/Go/Wait for index-shaped fan-out
+// (per-site merges, per-column preparation).
+func Tasks(name string, n int, body func(i int)) {
+	g := NewGroup(name)
+	for i := 0; i < n; i++ {
+		i := i
+		g.Go(func() { body(i) })
+	}
+	g.Wait()
+}

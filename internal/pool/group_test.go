@@ -1,0 +1,173 @@
+package pool
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestTasksRunsAllIndices(t *testing.T) {
+	defer SetWorkers(0)
+	for _, workers := range []int{1, 2, 4, 8} {
+		SetWorkers(workers)
+		const n = 100
+		got := make([]int32, n)
+		Tasks("test", n, func(i int) { atomic.AddInt32(&got[i], 1) })
+		for i, c := range got {
+			if c != 1 {
+				t.Fatalf("workers=%d: index %d ran %d times, want 1", workers, i, c)
+			}
+		}
+	}
+}
+
+func TestGroupSlotWritesAreOrdered(t *testing.T) {
+	// The determinism contract: tasks write caller-indexed slots, the
+	// caller reduces in index order, so the reduction is identical for
+	// every worker count.
+	defer SetWorkers(0)
+	var want float64
+	for _, workers := range []int{1, 2, 4, 8} {
+		SetWorkers(workers)
+		const n = 64
+		vals := make([]float64, n)
+		g := NewGroup("reduce")
+		for i := 0; i < n; i++ {
+			i := i
+			g.Go(func() { vals[i] = 1.0 / float64(i+1) })
+		}
+		g.Wait()
+		sum := 0.0
+		for _, v := range vals {
+			sum += v
+		}
+		if workers == 1 {
+			want = sum
+			continue
+		}
+		if sum != want {
+			t.Fatalf("workers=%d: sum %v differs from single-worker %v", workers, sum, want)
+		}
+	}
+}
+
+func TestTokenAccounting(t *testing.T) {
+	defer SetWorkers(0)
+	SetWorkers(2)
+	if n := TokensInUse(); n != 0 {
+		t.Fatalf("tokens in use before any group: %d", n)
+	}
+	release := make(chan struct{})
+	started := make(chan struct{}, 2)
+	g := NewGroup("hold")
+	// Two tasks claim both tokens and park.
+	for i := 0; i < 2; i++ {
+		g.Go(func() {
+			started <- struct{}{}
+			<-release
+		})
+	}
+	<-started
+	<-started
+	if n := TokensInUse(); n != 2 {
+		t.Fatalf("tokens in use with 2 parked tasks: %d, want 2", n)
+	}
+	// A third task must fall back inline (no token left) rather than
+	// block; if it were queued behind the parked tasks this would hang.
+	ranInline := false
+	g.Go(func() { ranInline = true })
+	if !ranInline {
+		t.Fatal("third task did not run inline with all tokens taken")
+	}
+	close(release)
+	g.Wait()
+	if n := TokensInUse(); n != 0 {
+		t.Fatalf("tokens in use after Wait: %d", n)
+	}
+}
+
+func TestNestedGroupsComplete(t *testing.T) {
+	// Nested fan-out must not deadlock even when the inner groups far
+	// exceed the token budget: token-less tasks run inline.
+	defer SetWorkers(0)
+	SetWorkers(2)
+	var count atomic.Int64
+	Tasks("outer", 8, func(i int) {
+		Tasks("inner", 8, func(j int) {
+			count.Add(1)
+		})
+	})
+	if got := count.Load(); got != 64 {
+		t.Fatalf("nested tasks ran %d bodies, want 64", got)
+	}
+	if n := TokensInUse(); n != 0 {
+		t.Fatalf("tokens leaked after nested groups: %d", n)
+	}
+}
+
+func TestGroupPanicPropagates(t *testing.T) {
+	defer SetWorkers(0)
+	SetWorkers(4)
+	g := NewGroup("panic")
+	for i := 0; i < 4; i++ {
+		i := i
+		g.Go(func() {
+			if i == 2 {
+				panic("boom")
+			}
+		})
+	}
+	defer func() {
+		if r := recover(); r != "boom" {
+			t.Fatalf("Wait recovered %v, want boom", r)
+		}
+		if n := TokensInUse(); n != 0 {
+			t.Fatalf("tokens leaked after panic: %d", n)
+		}
+	}()
+	g.Wait()
+	t.Fatal("Wait returned without panicking")
+}
+
+func TestKernelShareUnderLatticeTasks(t *testing.T) {
+	defer SetWorkers(0)
+	SetWorkers(8)
+	if got := kernelShare(); got != 8 {
+		t.Fatalf("idle kernelShare = %d, want 8", got)
+	}
+	var entered sync.WaitGroup
+	entered.Add(2)
+	proceed := make(chan struct{})
+	g := NewGroup("share")
+	g.Go(func() { entered.Done(); <-proceed })
+	g.Go(func() { entered.Done(); <-proceed })
+	entered.Wait()
+	// Both tasks active: kernels see half the pool.
+	if got := kernelShare(); got != 4 {
+		t.Fatalf("kernelShare with 2 active lattice tasks = %d, want 4", got)
+	}
+	close(proceed)
+	g.Wait()
+	if got := kernelShare(); got != 8 {
+		t.Fatalf("kernelShare after Wait = %d, want 8", got)
+	}
+}
+
+func TestForMaxInsideGroupStillCoversRange(t *testing.T) {
+	defer SetWorkers(0)
+	SetWorkers(4)
+	Tasks("cover", 4, func(i int) {
+		const n = 1000
+		marks := make([]int32, n)
+		ForMax(0, n, 1, func(lo, hi int) {
+			for k := lo; k < hi; k++ {
+				atomic.AddInt32(&marks[k], 1)
+			}
+		})
+		for k, c := range marks {
+			if c != 1 {
+				panic("index not covered exactly once: " + string(rune(k)))
+			}
+		}
+	})
+}

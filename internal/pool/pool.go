@@ -14,7 +14,9 @@
 package pool
 
 import (
+	"os"
 	"runtime"
+	"strconv"
 	"sync"
 
 	"gokoala/internal/obs"
@@ -43,25 +45,64 @@ var (
 // run inline on the caller instead of blocking.
 const queueDepth = 8
 
+// envWorkers reads the KOALA_WORKERS environment variable once; a
+// positive integer overrides the GOMAXPROCS default pool size (the
+// tuning knob of long-running services and benchmark sweeps — see the
+// README tuning notes). SetWorkers still takes precedence.
+var envWorkers = sync.OnceValue(func() int {
+	n, err := strconv.Atoi(os.Getenv("KOALA_WORKERS"))
+	if err != nil || n <= 0 {
+		return 0
+	}
+	return n
+})
+
+// defaultSize is the pool size used when SetWorkers has not been called:
+// KOALA_WORKERS when set, GOMAXPROCS otherwise.
+func defaultSize() int {
+	if n := envWorkers(); n > 0 {
+		return n
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
 // Size returns the worker count parallel kernels should split work for:
-// the running pool's size, or GOMAXPROCS if the pool has not started.
+// the running pool's size, or the default (KOALA_WORKERS / GOMAXPROCS)
+// if the pool has not started.
 func Size() int {
 	mu.Lock()
 	defer mu.Unlock()
 	if size > 0 {
 		return size
 	}
-	return runtime.GOMAXPROCS(0)
+	return defaultSize()
+}
+
+// kernelShare is the chunk budget of one kernel-level split: the full
+// pool normally, or the pool divided by the number of active lattice
+// tasks, so nested kernel parallelism under a task group never
+// oversubscribes the pool (the hierarchical budget of the lattice
+// scheduler; see group.go). Chunk counts only partition disjoint output
+// ranges, so this adaptivity never changes numerical results.
+func kernelShare() int {
+	n := Size()
+	if a := latticeActive.Load(); a > 1 {
+		n /= int(a)
+		if n < 1 {
+			n = 1
+		}
+	}
+	return n
 }
 
 // SetWorkers resizes the pool to n workers (n <= 0 restores the
-// GOMAXPROCS default). Already-submitted work completes on the old
-// workers. Intended for tests and for tuning long-running services;
-// kernels cap their own parallelism per call via the max argument of
-// ForMax instead.
+// KOALA_WORKERS / GOMAXPROCS default). Already-submitted work completes
+// on the old workers. Intended for tests and for tuning long-running
+// services; kernels cap their own parallelism per call via the max
+// argument of ForMax instead.
 func SetWorkers(n int) {
 	if n <= 0 {
-		n = runtime.GOMAXPROCS(0)
+		n = defaultSize()
 	}
 	mu.Lock()
 	defer mu.Unlock()
@@ -79,7 +120,7 @@ func ensure() chan task {
 	mu.Lock()
 	defer mu.Unlock()
 	if queue == nil {
-		start(runtime.GOMAXPROCS(0))
+		start(defaultSize())
 	}
 	return queue
 }
@@ -116,7 +157,7 @@ func ForMax(max, n, grain int, body func(lo, hi int)) {
 	if grain < 1 {
 		grain = 1
 	}
-	chunks := Size()
+	chunks := kernelShare()
 	if max > 0 && max < chunks {
 		chunks = max
 	}
