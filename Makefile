@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet check bench bench-smoke bench-sched clean
+.PHONY: all build test race vet check bench bench-smoke bench-sched bench-resume clean
 
 all: check
 
@@ -41,6 +41,24 @@ bench-smoke:
 bench-sched:
 	KOALA_WORKERS=4 $(GO) test -run '^$$' \
 		-bench 'BenchmarkCachedExpectation|BenchmarkCheckerboardITEStep' -benchtime 1x .
+
+# Crash-and-resume smoke: run an ITE trace to completion at 1 worker,
+# re-run with an injected crash (-die-after, exit code 3) mid-way, resume
+# from the checkpoint at 4 workers, and require the resumed energy trace
+# to match the uninterrupted one bit for bit.
+bench-resume:
+	@tmp=$$(mktemp -d); trap "rm -rf $$tmp" EXIT; set -e; \
+	$(GO) build -o $$tmp/koala-ite ./cmd/koala-ite; \
+	flags="-model tfi -rows 2 -cols 2 -r 2 -steps 6 -every 1 -seed 5 -reference=false"; \
+	$$tmp/koala-ite $$flags -workers 1 > $$tmp/full.txt; \
+	status=0; $$tmp/koala-ite $$flags -workers 4 -checkpoint $$tmp/run.ckpt -die-after 3 \
+		> $$tmp/crash.txt || status=$$?; \
+	if [ $$status -ne 3 ]; then \
+		echo "bench-resume: injected crash exited $$status, want 3"; exit 1; fi; \
+	$$tmp/koala-ite $$flags -workers 4 -checkpoint $$tmp/run.ckpt -resume > $$tmp/resume.txt; \
+	grep '^step' $$tmp/full.txt > $$tmp/a; grep '^step' $$tmp/resume.txt > $$tmp/b; \
+	cmp $$tmp/a $$tmp/b; \
+	echo "bench-resume: resumed trace bit-identical to uninterrupted run"
 
 clean:
 	$(GO) clean ./...

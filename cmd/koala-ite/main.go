@@ -4,6 +4,10 @@
 // Usage:
 //
 //	koala-ite -model j1j2 -rows 4 -cols 4 -r 2 -m 4 -tau 0.05 -steps 60
+//
+// Long runs can write crash-safe checkpoints (-checkpoint run.ckpt
+// -checkpoint-every 10) and continue after a crash with -resume; the
+// resumed trace is bit-identical to an uninterrupted run.
 package main
 
 import (
@@ -14,6 +18,7 @@ import (
 	"os"
 
 	"gokoala/internal/backend"
+	"gokoala/internal/checkpoint"
 	"gokoala/internal/cliutil"
 	"gokoala/internal/einsumsvd"
 	"gokoala/internal/ite"
@@ -34,10 +39,18 @@ func main() {
 	seed := cliutil.SeedFlag(1)
 	explicit := flag.Bool("explicit", false, "use explicit SVD (BMPS) instead of implicit randomized SVD (IBMPS)")
 	reference := flag.Bool("reference", true, "also compute the exact reference when the lattice is small enough")
+	healthFlag := cliutil.HealthFlag()
+	ck := cliutil.CheckpointFlags("steps")
 	oc := cliutil.ObsFlags()
 	workers := cliutil.WorkersFlag()
 	flag.Parse()
 	cliutil.ApplyWorkers(*workers)
+	if err := cliutil.ApplyHealth(*healthFlag); err != nil {
+		log.Fatal(err)
+	}
+	if err := ck.Validate(); err != nil {
+		log.Fatal(err)
+	}
 	if _, err := oc.Setup(); err != nil {
 		log.Fatal(err)
 	}
@@ -70,6 +83,30 @@ func main() {
 	}
 
 	eng := backend.Instrument(backend.NewDense())
+	var from *checkpoint.ITECheckpoint
+	if *ck.Resume {
+		cp, err := checkpoint.LoadITE(*ck.Path, eng)
+		switch {
+		case err == nil:
+			from = cp
+			fmt.Printf("resuming from %s at step %d\n", *ck.Path, cp.Step)
+		case checkpoint.IsNotExist(err):
+			fmt.Printf("no checkpoint at %s, starting fresh\n", *ck.Path)
+		default:
+			log.Fatal(err)
+		}
+	}
+	var afterStep func(int)
+	if *ck.DieAfter > 0 {
+		die := *ck.DieAfter
+		afterStep = func(step int) {
+			if step >= die {
+				fmt.Printf("injected crash after step %d\n", step)
+				os.Exit(3)
+			}
+		}
+	}
+
 	state := ite.PlusState(peps.ComputationalZeros(eng, *rows, *cols))
 	res := ite.Evolve(state, obs, ite.Options{
 		Tau:             *tau,
@@ -80,11 +117,18 @@ func main() {
 		MeasureEvery:    *every,
 		Seed:            *seed,
 		UseCache:        true,
+		CheckpointPath:  *ck.Path,
+		CheckpointEvery: *ck.Every,
+		From:            from,
+		AfterStep:       afterStep,
 	})
 	fmt.Printf("ITE on %dx%d %s, r=%d m=%d tau=%g\n", *rows, *cols, *model, *r, mm, *tau)
 	for i, e := range res.Energies {
-		fmt.Printf("step %4d  energy/site %.6f\n", res.MeasuredAt[i], e)
+		// Full float64 precision so resumed runs can be diffed bit for bit
+		// against uninterrupted ones (make bench-resume).
+		fmt.Printf("step %4d  energy/site %.17g\n", res.MeasuredAt[i], e)
 	}
+	cliutil.WriteHealthCounters(os.Stdout)
 	if err := oc.Finish(os.Stdout); err != nil {
 		log.Fatal(err)
 	}

@@ -66,3 +66,17 @@ func RandSVD(e Engine, op linalg.Operator, rank int, nIter, oversample int, rng 
 		Rng:        rng,
 	})
 }
+
+// RandSVDChecked is RandSVD plus the subspace-quality report from a
+// deterministic probe (see linalg.RandSVDReport): callers inspect
+// rep.Converged to decide whether the sketch resolved the operator well
+// enough or an exact fallback is warranted. probeTol <= 0 selects
+// health.DefaultSubspaceTol.
+func RandSVDChecked(e Engine, op linalg.Operator, rank int, nIter, oversample int, rng *rand.Rand, probeTol float64) (*tensor.Dense, []float64, *tensor.Dense, linalg.Report) {
+	return linalg.RandSVDReport(op, rank, linalg.RandSVDOptions{
+		NIter:      nIter,
+		Oversample: oversample,
+		Orth:       e.Orth,
+		Rng:        rng,
+	}, probeTol)
+}

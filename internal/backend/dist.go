@@ -5,6 +5,7 @@ import (
 
 	"gokoala/internal/dist"
 	"gokoala/internal/einsum"
+	"gokoala/internal/health"
 	"gokoala/internal/linalg"
 	"gokoala/internal/tensor"
 )
@@ -88,26 +89,36 @@ func (d *Dist) QRSplit(t *tensor.Dense, leftAxes int) (*tensor.Dense, *tensor.De
 		}
 	}
 	var qm, rm *tensor.Dense
+	direct := !d.UseGram
 	if d.UseGram {
 		// Paper Algorithm 5: distributed Gram GEMM (allreduce of a small
 		// cols-by-cols matrix only), local eigendecomposition, broadcast
 		// of the small P factor, distributed Q = A P.
 		a := t.Reshape(rows, cols)
 		g := d.Grid.GramMatrix(a)
-		var p *tensor.Dense
-		d.Grid.Sequential(func() {
-			rm, p = gramFactors(g)
-		})
-		d.Grid.Bcast(int64(p.Size()) * bytesPerElem)
-		qm = d.Grid.MatMul(a, p)
-	} else {
+		rmg, p, ok := gramFactors(g)
+		d.chargeGramFactors(cols)
+		if ok {
+			rm = rmg
+			d.Grid.Bcast(int64(p.Size()) * bytesPerElem)
+			qm = d.Grid.MatMul(a, p)
+		} else {
+			// κ² of the matricized tensor is past health.Kappa2Max: the
+			// squared conditioning of the Gram method cannot resolve the
+			// small directions, so degrade to the direct Householder-QR
+			// path (paying its redistribution). The Gram attempt's cost
+			// stays metered — the model reflects attempt-then-degrade.
+			health.CountGramFallback()
+			direct = true
+		}
+	}
+	if direct {
 		// Direct path: distributed reshape (alltoall), gather the
 		// matricized tensor, factor locally, scatter back.
 		d.Grid.AllToAll(int64(t.Size()) * bytesPerElem)
 		d.Grid.Gather(int64(t.Size()) * bytesPerElem)
-		d.Grid.PartialParallel(svdEffRanks, func() {
-			qm, rm = linalg.QR(t.Reshape(rows, cols))
-		})
+		qm, rm = linalg.QR(t.Reshape(rows, cols))
+		d.Grid.ChargeFlops(linalg.QRFlops(rows, cols), svdEffRanks)
 		d.Grid.Gather(int64(qm.Size()+rm.Size()) * bytesPerElem) // scatter results
 	}
 	k := qm.Dim(1)
@@ -118,10 +129,16 @@ func (d *Dist) QRSplit(t *tensor.Dense, leftAxes int) (*tensor.Dense, *tensor.De
 
 // gramFactors computes, from the Gram matrix G = A*A, the Algorithm 5
 // factors R = sqrt(L) X* and P = X diag(1/sqrt(L)); the caller forms
-// Q = A P with a distributed GEMM.
-func gramFactors(g *tensor.Dense) (r, p *tensor.Dense) {
+// Q = A P with a distributed GEMM. ok is false when the Gram spectrum
+// reveals κ² beyond health.Kappa2Max (the eigenvalues of G are the
+// squared singular values of A): the factors are then unusable and the
+// caller must degrade to direct QR.
+func gramFactors(g *tensor.Dense) (r, p *tensor.Dense, ok bool) {
 	w, x := linalg.EigH(g)
 	n := g.Dim(0)
+	if n > 0 && health.GramIllConditioned(w[n-1], w[0]) {
+		return nil, nil, false
+	}
 	wmax := 0.0
 	for _, v := range w {
 		if v > wmax {
@@ -151,28 +168,34 @@ func gramFactors(g *tensor.Dense) (r, p *tensor.Dense) {
 	xh := x.Conj().Transpose(1, 0)
 	r = tensor.MatMul(sq, xh)
 	p = tensor.MatMul(x, isq)
-	return r, p
+	return r, p, true
+}
+
+// chargeGramFactors accounts the single-rank work of gramFactors on the
+// grid analytically — the n-by-n eigendecomposition plus the two n³
+// factor GEMMs — instead of measuring a global flop delta, which would
+// attribute concurrent tasks' flops to this grid (and each other's) when
+// lattice task groups drive the same engine from several workers.
+func (d *Dist) chargeGramFactors(n int) {
+	n64 := int64(n)
+	d.Grid.ChargeFlops(linalg.EigFlops(n)+2*n64*n64*n64, 1)
 }
 
 // TruncSVD models the ScaLAPACK-via-Cyclops explicit SVD: a distributed
 // reshape to the factorization layout plus a factorization whose
 // scalability saturates at svdEffRanks.
 func (d *Dist) TruncSVD(m *tensor.Dense, rank int) (*tensor.Dense, []float64, *tensor.Dense) {
-	var u, v *tensor.Dense
-	var s []float64
 	if d.LocalSVD {
 		// Small-matrix path: compute on one rank and broadcast the
 		// factors; no distributed reshape.
-		d.Grid.Sequential(func() {
-			u, s, v = linalg.TruncatedSVD(m, rank)
-		})
+		u, s, v := linalg.TruncatedSVD(m, rank)
+		d.Grid.ChargeFlops(linalg.SVDFlops(m.Dim(0), m.Dim(1)), 1)
 		d.Grid.Bcast(int64(u.Size()+v.Size()) * bytesPerElem)
 		return u, s, v
 	}
 	d.Grid.AllToAll(int64(m.Size()) * bytesPerElem)
-	d.Grid.PartialParallel(svdEffRanks, func() {
-		u, s, v = linalg.TruncatedSVD(m, rank)
-	})
+	u, s, v := linalg.TruncatedSVD(m, rank)
+	d.Grid.ChargeFlops(linalg.SVDFlops(m.Dim(0), m.Dim(1)), svdEffRanks)
 	d.Grid.AllToAll(int64(u.Size()+v.Size()) * bytesPerElem)
 	return u, s, v
 }
@@ -181,19 +204,20 @@ func (d *Dist) TruncSVD(m *tensor.Dense, rank int) (*tensor.Dense, []float64, *t
 func (d *Dist) Orth(x *tensor.Dense) *tensor.Dense {
 	if d.UseGram {
 		g := d.Grid.GramMatrix(x)
-		var p *tensor.Dense
-		d.Grid.Sequential(func() {
-			_, p = gramFactors(g)
-		})
-		d.Grid.Bcast(int64(p.Size()) * bytesPerElem)
-		return d.Grid.MatMul(x, p)
+		_, p, ok := gramFactors(g)
+		d.chargeGramFactors(x.Dim(1))
+		if ok {
+			d.Grid.Bcast(int64(p.Size()) * bytesPerElem)
+			return d.Grid.MatMul(x, p)
+		}
+		// Ill-conditioned block vector: degrade to the direct QR path
+		// below (see QRSplit for the rationale).
+		health.CountGramFallback()
 	}
 	d.Grid.AllToAll(int64(x.Size()) * bytesPerElem)
 	d.Grid.Gather(int64(x.Size()) * bytesPerElem)
-	var q *tensor.Dense
-	d.Grid.PartialParallel(svdEffRanks, func() {
-		q = linalg.OrthQR(x)
-	})
+	q := linalg.OrthQR(x)
+	d.Grid.ChargeFlops(linalg.QRFlops(x.Dim(0), x.Dim(1)), svdEffRanks)
 	d.Grid.Gather(int64(q.Size()) * bytesPerElem)
 	return q
 }

@@ -3,6 +3,7 @@ package backend
 import (
 	"gokoala/internal/dist"
 	"gokoala/internal/einsum"
+	"gokoala/internal/health"
 	"gokoala/internal/obs"
 	"gokoala/internal/tensor"
 )
@@ -24,8 +25,12 @@ var (
 // the region (modeled seconds, communication bytes), so modeled time
 // appears alongside measured time in traces and summaries.
 //
-// While obs is disabled every method delegates straight to the inner
-// engine after one atomic load, so wrapping is free on hot paths.
+// It is also where the health.Policy NaN/Inf stage guards live: every
+// kernel result is scanned at the engine boundary (under any engine, in
+// both the traced and untraced paths), so a single policy flag covers
+// every backend. While obs is disabled and the health policy is off,
+// every method delegates straight to the inner engine after two atomic
+// loads, so wrapping is free on hot paths.
 type Instrumented struct {
 	inner Engine
 	grid  *dist.Grid // nil unless inner is a *Dist
@@ -93,7 +98,9 @@ func obsHooks(kernel func(a, b *tensor.Dense) *tensor.Dense) einsum.Hooks {
 
 func (ie *Instrumented) Einsum(spec string, ops ...*tensor.Dense) *tensor.Dense {
 	if !obs.Enabled() {
-		return ie.inner.Einsum(spec, ops...)
+		out := ie.inner.Einsum(spec, ops...)
+		health.CheckTensor("backend.einsum", out)
+		return out
 	}
 	sp := obs.Start("einsum").SetStr("spec", spec)
 	before := ie.statsBefore()
@@ -112,6 +119,7 @@ func (ie *Instrumented) Einsum(spec string, ops ...*tensor.Dense) *tensor.Dense 
 		out := e.Einsum(spec, ops...)
 		ie.annotate(sp, before)
 		sp.End()
+		health.CheckTensor("backend.einsum", out)
 		return out
 	}
 	out, err := einsum.ContractWithHooks(spec, ops, hooks)
@@ -121,24 +129,42 @@ func (ie *Instrumented) Einsum(spec string, ops ...*tensor.Dense) *tensor.Dense 
 	}
 	ie.annotate(sp, before)
 	sp.End()
+	health.CheckTensor("backend.einsum", out)
 	return out
+}
+
+// checkFactorization scans the post-factorization outputs at the stage
+// boundary: both tensor factors and the real singular-value/weight
+// vector (where an ill-conditioned solve first shows NaN).
+func checkFactorization(stage string, a, b *tensor.Dense, s []float64) {
+	if !health.Checking() {
+		return
+	}
+	health.CheckTensor(stage, a)
+	health.CheckTensor(stage, b)
+	health.CheckFloats(stage, s)
 }
 
 func (ie *Instrumented) QRSplit(t *tensor.Dense, leftAxes int) (*tensor.Dense, *tensor.Dense) {
 	if !obs.Enabled() {
-		return ie.inner.QRSplit(t, leftAxes)
+		q, r := ie.inner.QRSplit(t, leftAxes)
+		checkFactorization("backend.qrsplit", q, r, nil)
+		return q, r
 	}
 	sp := obs.Start("backend.qrsplit")
 	before := ie.statsBefore()
 	q, r := ie.inner.QRSplit(t, leftAxes)
 	ie.annotate(sp, before)
 	sp.End()
+	checkFactorization("backend.qrsplit", q, r, nil)
 	return q, r
 }
 
 func (ie *Instrumented) TruncSVD(m *tensor.Dense, rank int) (*tensor.Dense, []float64, *tensor.Dense) {
 	if !obs.Enabled() {
-		return ie.inner.TruncSVD(m, rank)
+		u, s, v := ie.inner.TruncSVD(m, rank)
+		checkFactorization("backend.truncsvd", u, v, s)
+		return u, s, v
 	}
 	sp := obs.Start("backend.truncsvd")
 	before := ie.statsBefore()
@@ -148,17 +174,21 @@ func (ie *Instrumented) TruncSVD(m *tensor.Dense, rank int) (*tensor.Dense, []fl
 	sp.SetInt("rank", int64(len(s)))
 	ie.annotate(sp, before)
 	sp.End()
+	checkFactorization("backend.truncsvd", u, v, s)
 	return u, s, v
 }
 
 func (ie *Instrumented) Orth(x *tensor.Dense) *tensor.Dense {
 	if !obs.Enabled() {
-		return ie.inner.Orth(x)
+		q := ie.inner.Orth(x)
+		health.CheckTensor("backend.orth", q)
+		return q
 	}
 	sp := obs.Start("backend.orth")
 	before := ie.statsBefore()
 	q := ie.inner.Orth(x)
 	ie.annotate(sp, before)
 	sp.End()
+	health.CheckTensor("backend.orth", q)
 	return q
 }

@@ -1,0 +1,271 @@
+// Package checkpoint provides crash-safe serialization of long-running
+// simulations: atomic checkpoint files (temp file + fsync + rename, so a
+// kill at any instant leaves either the previous checkpoint or the new
+// one, never a torn file) and the ITE/VQE checkpoint records that make a
+// resumed run bit-identical to an uninterrupted one.
+//
+// The records save everything the dead process knew that the resuming
+// process cannot recompute: the evolved PEPS state (with its LogScale),
+// the step/round counter, the base strategy seed, and the trace measured
+// so far. Random streams are NOT saved — ite.Evolve reseeds its strategy
+// from (seed, step) at every measurement (einsumsvd.Reseed) and vqe.Run
+// resumes at round granularity from the best point, so stream positions
+// are reconstructible by construction.
+package checkpoint
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"path/filepath"
+
+	"gokoala/internal/backend"
+	"gokoala/internal/health"
+	"gokoala/internal/peps"
+)
+
+const (
+	iteMagic = "KOIT"
+	vqeMagic = "KOVQ"
+	version  = 1
+
+	// maxSliceLen bounds trace-slice lengths during load, rejecting
+	// corrupt headers before allocation.
+	maxSliceLen = 1 << 24
+)
+
+// WriteAtomic writes a file through a temp-file-plus-rename sequence in
+// the target's directory: the write callback streams into the temp file,
+// which is fsynced, closed, and renamed over path. A crash at any point
+// leaves either the old file or the new one. Failed writes (including
+// faults injected via health.SetCheckpointFault) are counted in
+// health.checkpoint_failures and leave the previous file untouched.
+func WriteAtomic(path string, write func(io.Writer) error) (err error) {
+	defer func() {
+		if err != nil {
+			health.CountCheckpointFailure()
+		}
+	}()
+	if err := health.CheckpointFault(); err != nil {
+		return fmt.Errorf("checkpoint: %w", err)
+	}
+	dir, base := filepath.Split(path)
+	if dir == "" {
+		dir = "."
+	}
+	tmp, err := os.CreateTemp(dir, base+".tmp*")
+	if err != nil {
+		return fmt.Errorf("checkpoint: %w", err)
+	}
+	defer func() {
+		if err != nil {
+			tmp.Close()
+			os.Remove(tmp.Name())
+		}
+	}()
+	if err = write(tmp); err != nil {
+		return fmt.Errorf("checkpoint: write %s: %w", path, err)
+	}
+	if err = tmp.Sync(); err != nil {
+		return fmt.Errorf("checkpoint: sync %s: %w", path, err)
+	}
+	if err = tmp.Close(); err != nil {
+		return fmt.Errorf("checkpoint: close %s: %w", path, err)
+	}
+	if err = os.Rename(tmp.Name(), path); err != nil {
+		return fmt.Errorf("checkpoint: rename %s: %w", path, err)
+	}
+	return nil
+}
+
+// IsNotExist reports whether err means the checkpoint file does not
+// exist yet — the "fresh start" case of a -resume flag.
+func IsNotExist(err error) bool { return errors.Is(err, os.ErrNotExist) }
+
+// ITECheckpoint is the resumable state of an imaginary-time-evolution
+// run after Step completed sweeps.
+type ITECheckpoint struct {
+	// Step is the number of completed Trotter sweeps.
+	Step int
+	// Seed is the base strategy seed of the run; measurement streams are
+	// derived from (Seed, step), so the resumed process reproduces them.
+	Seed int64
+	// Energies and MeasuredAt are the trace recorded so far.
+	Energies   []float64
+	MeasuredAt []int
+	// State is the evolved PEPS (including LogScale).
+	State *peps.PEPS
+}
+
+// SaveITE atomically writes an ITE checkpoint.
+func SaveITE(path string, c *ITECheckpoint) error {
+	return WriteAtomic(path, func(w io.Writer) error {
+		if _, err := io.WriteString(w, iteMagic); err != nil {
+			return err
+		}
+		hdr := []uint64{version, uint64(c.Step), uint64(c.Seed), uint64(len(c.Energies))}
+		if err := binary.Write(w, binary.LittleEndian, hdr); err != nil {
+			return err
+		}
+		if len(c.MeasuredAt) != len(c.Energies) {
+			return fmt.Errorf("trace length mismatch: %d energies, %d steps", len(c.Energies), len(c.MeasuredAt))
+		}
+		if err := binary.Write(w, binary.LittleEndian, c.Energies); err != nil {
+			return err
+		}
+		at := make([]uint64, len(c.MeasuredAt))
+		for i, s := range c.MeasuredAt {
+			at[i] = uint64(s)
+		}
+		if err := binary.Write(w, binary.LittleEndian, at); err != nil {
+			return err
+		}
+		return c.State.Save(w)
+	})
+}
+
+// LoadITE reads an ITE checkpoint written by SaveITE, attaching the
+// engine to the restored state. Corrupt input comes back as an error.
+func LoadITE(path string, eng backend.Engine) (*ITECheckpoint, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("checkpoint: %w", err)
+	}
+	defer f.Close()
+	if err := readMagic(f, iteMagic); err != nil {
+		return nil, err
+	}
+	var hdr [4]uint64
+	if err := binary.Read(f, binary.LittleEndian, &hdr); err != nil {
+		return nil, fmt.Errorf("checkpoint: ite header: %w", err)
+	}
+	if hdr[0] != version {
+		return nil, fmt.Errorf("checkpoint: unsupported ite version %d", hdr[0])
+	}
+	n := hdr[3]
+	if n > maxSliceLen {
+		return nil, fmt.Errorf("checkpoint: implausible trace length %d", n)
+	}
+	c := &ITECheckpoint{Step: int(hdr[1]), Seed: int64(hdr[2])}
+	if c.Step < 0 || c.Step > maxSliceLen {
+		return nil, fmt.Errorf("checkpoint: implausible step %d", c.Step)
+	}
+	c.Energies = make([]float64, n)
+	if err := binary.Read(f, binary.LittleEndian, c.Energies); err != nil {
+		return nil, fmt.Errorf("checkpoint: ite energies: %w", err)
+	}
+	for i, e := range c.Energies {
+		if math.IsNaN(e) || math.IsInf(e, 0) {
+			return nil, fmt.Errorf("checkpoint: non-finite energy at measurement %d", i)
+		}
+	}
+	at := make([]uint64, n)
+	if err := binary.Read(f, binary.LittleEndian, at); err != nil {
+		return nil, fmt.Errorf("checkpoint: ite trace steps: %w", err)
+	}
+	c.MeasuredAt = make([]int, n)
+	for i, s := range at {
+		if s > uint64(c.Step) {
+			return nil, fmt.Errorf("checkpoint: measurement %d at step %d beyond checkpoint step %d", i, s, c.Step)
+		}
+		c.MeasuredAt[i] = int(s)
+	}
+	c.State, err = peps.Load(f, eng)
+	if err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// VQECheckpoint is the resumable state of a VQE run after Round
+// completed optimizer rounds.
+type VQECheckpoint struct {
+	// Round is the number of completed Nelder-Mead restart rounds.
+	Round int
+	// Evals is the cumulative objective-evaluation count.
+	Evals int
+	// Energy is the best energy per site found so far.
+	Energy float64
+	// Theta is the best parameter vector found so far.
+	Theta []float64
+	// History is the best-so-far energy trace.
+	History []float64
+	// Seed is the base seed of the run.
+	Seed int64
+}
+
+// SaveVQE atomically writes a VQE checkpoint.
+func SaveVQE(path string, c *VQECheckpoint) error {
+	return WriteAtomic(path, func(w io.Writer) error {
+		if _, err := io.WriteString(w, vqeMagic); err != nil {
+			return err
+		}
+		hdr := []uint64{version, uint64(c.Round), uint64(c.Evals), uint64(c.Seed),
+			uint64(len(c.Theta)), uint64(len(c.History))}
+		if err := binary.Write(w, binary.LittleEndian, hdr); err != nil {
+			return err
+		}
+		if err := binary.Write(w, binary.LittleEndian, c.Energy); err != nil {
+			return err
+		}
+		if err := binary.Write(w, binary.LittleEndian, c.Theta); err != nil {
+			return err
+		}
+		return binary.Write(w, binary.LittleEndian, c.History)
+	})
+}
+
+// LoadVQE reads a VQE checkpoint written by SaveVQE.
+func LoadVQE(path string) (*VQECheckpoint, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("checkpoint: %w", err)
+	}
+	defer f.Close()
+	if err := readMagic(f, vqeMagic); err != nil {
+		return nil, err
+	}
+	var hdr [6]uint64
+	if err := binary.Read(f, binary.LittleEndian, &hdr); err != nil {
+		return nil, fmt.Errorf("checkpoint: vqe header: %w", err)
+	}
+	if hdr[0] != version {
+		return nil, fmt.Errorf("checkpoint: unsupported vqe version %d", hdr[0])
+	}
+	nt, nh := hdr[4], hdr[5]
+	if nt > maxSliceLen || nh > maxSliceLen {
+		return nil, fmt.Errorf("checkpoint: implausible vector lengths %d, %d", nt, nh)
+	}
+	c := &VQECheckpoint{Round: int(hdr[1]), Evals: int(hdr[2]), Seed: int64(hdr[3])}
+	if err := binary.Read(f, binary.LittleEndian, &c.Energy); err != nil {
+		return nil, fmt.Errorf("checkpoint: vqe energy: %w", err)
+	}
+	c.Theta = make([]float64, nt)
+	if err := binary.Read(f, binary.LittleEndian, c.Theta); err != nil {
+		return nil, fmt.Errorf("checkpoint: vqe theta: %w", err)
+	}
+	c.History = make([]float64, nh)
+	if err := binary.Read(f, binary.LittleEndian, c.History); err != nil {
+		return nil, fmt.Errorf("checkpoint: vqe history: %w", err)
+	}
+	for _, v := range append(append([]float64{c.Energy}, c.Theta...), c.History...) {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return nil, fmt.Errorf("checkpoint: non-finite value in vqe record")
+		}
+	}
+	return c, nil
+}
+
+func readMagic(r io.Reader, want string) error {
+	got := make([]byte, len(want))
+	if _, err := io.ReadFull(r, got); err != nil {
+		return fmt.Errorf("checkpoint: magic: %w", err)
+	}
+	if string(got) != want {
+		return fmt.Errorf("checkpoint: bad magic %q, want %q", got, want)
+	}
+	return nil
+}

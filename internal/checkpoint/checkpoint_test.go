@@ -1,0 +1,203 @@
+package checkpoint
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"gokoala/internal/backend"
+	"gokoala/internal/health"
+	"gokoala/internal/peps"
+	"gokoala/internal/tensor"
+)
+
+var eng = backend.NewDense()
+
+func sampleITE(t *testing.T) *ITECheckpoint {
+	t.Helper()
+	rng := rand.New(rand.NewSource(61))
+	st := peps.Random(eng, rng, 2, 3, 2, 2)
+	st.LogScale = -3.5
+	return &ITECheckpoint{
+		Step:       7,
+		Seed:       42,
+		Energies:   []float64{-0.5, -0.8, -0.9},
+		MeasuredAt: []int{2, 4, 6},
+		State:      st,
+	}
+}
+
+func TestITERoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "run.ckpt")
+	c := sampleITE(t)
+	if err := SaveITE(path, c); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadITE(path, eng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Step != c.Step || got.Seed != c.Seed {
+		t.Fatalf("header mismatch: %+v", got)
+	}
+	if len(got.Energies) != 3 || got.Energies[1] != -0.8 || got.MeasuredAt[2] != 6 {
+		t.Fatalf("trace mismatch: %v %v", got.Energies, got.MeasuredAt)
+	}
+	if got.State.LogScale != c.State.LogScale {
+		t.Fatalf("LogScale %g, want %g", got.State.LogScale, c.State.LogScale)
+	}
+	for r := 0; r < 2; r++ {
+		for cc := 0; cc < 3; cc++ {
+			if !tensor.AllClose(got.State.Site(r, cc), c.State.Site(r, cc), 0, 0) {
+				t.Fatalf("site (%d,%d) not bit-identical", r, cc)
+			}
+		}
+	}
+}
+
+func TestWriteAtomicSurvivesInjectedFailure(t *testing.T) {
+	defer health.SetCheckpointFault(nil)
+	health.ResetCounters()
+	dir := t.TempDir()
+	path := filepath.Join(dir, "run.ckpt")
+	c := sampleITE(t)
+	if err := SaveITE(path, c); err != nil {
+		t.Fatal(err)
+	}
+
+	// Arm one injected write fault: the save must fail, be counted, and
+	// leave the previous checkpoint byte-for-byte loadable.
+	health.NewInjector(62).FailCheckpoints(1)
+	c2 := sampleITE(t)
+	c2.Step = 9
+	if err := SaveITE(path, c2); err == nil {
+		t.Fatal("injected fault did not fail the save")
+	}
+	if got := health.CheckpointFailures(); got != 1 {
+		t.Fatalf("CheckpointFailures = %d, want exactly 1", got)
+	}
+	old, err := LoadITE(path, eng)
+	if err != nil {
+		t.Fatalf("previous checkpoint unreadable after failed save: %v", err)
+	}
+	if old.Step != 7 {
+		t.Fatalf("previous checkpoint step %d, want 7", old.Step)
+	}
+
+	// The fault is spent: the next save succeeds and becomes current.
+	if err := SaveITE(path, c2); err != nil {
+		t.Fatal(err)
+	}
+	cur, err := LoadITE(path, eng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cur.Step != 9 {
+		t.Fatalf("new checkpoint step %d, want 9", cur.Step)
+	}
+	// No temp-file debris.
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if strings.Contains(e.Name(), ".tmp") {
+			t.Fatalf("temp file left behind: %s", e.Name())
+		}
+	}
+}
+
+func TestWriteAtomicKeepsOldFileOnWriterError(t *testing.T) {
+	health.ResetCounters()
+	dir := t.TempDir()
+	path := filepath.Join(dir, "f.ckpt")
+	if err := WriteAtomic(path, func(w io.Writer) error {
+		_, err := io.WriteString(w, "good")
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	err := WriteAtomic(path, func(w io.Writer) error {
+		io.WriteString(w, "partial garbage")
+		return fmt.Errorf("simulated mid-write crash")
+	})
+	if err == nil {
+		t.Fatal("writer error not propagated")
+	}
+	if got := health.CheckpointFailures(); got != 1 {
+		t.Fatalf("CheckpointFailures = %d, want 1", got)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil || string(data) != "good" {
+		t.Fatalf("old content damaged: %q, %v", data, err)
+	}
+}
+
+func TestLoadITERejectsCorruptInput(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "run.ckpt")
+	if err := SaveITE(path, sampleITE(t)); err != nil {
+		t.Fatal(err)
+	}
+	good, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := map[string][]byte{
+		"empty":     {},
+		"bad magic": append([]byte("NOPE"), good[4:]...),
+		"truncated": good[:len(good)/2],
+		"short":     good[:len(good)-5],
+	}
+	for name, data := range cases {
+		bad := filepath.Join(t.TempDir(), "bad.ckpt")
+		if err := os.WriteFile(bad, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := LoadITE(bad, eng); err == nil {
+			t.Errorf("%s: LoadITE accepted corrupt input", name)
+		}
+	}
+	if _, err := LoadITE(filepath.Join(t.TempDir(), "absent.ckpt"), eng); !IsNotExist(err) {
+		t.Errorf("missing file should be IsNotExist, got %v", err)
+	}
+}
+
+func TestVQERoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "vqe.ckpt")
+	c := &VQECheckpoint{
+		Round:   3,
+		Evals:   412,
+		Energy:  -1.0625,
+		Theta:   []float64{0.1, -0.2, 0.3},
+		History: []float64{-0.5, -1.0, -1.0625},
+		Seed:    17,
+	}
+	if err := SaveVQE(path, c); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadVQE(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Round != 3 || got.Evals != 412 || got.Seed != 17 || got.Energy != -1.0625 {
+		t.Fatalf("header mismatch: %+v", got)
+	}
+	for i := range c.Theta {
+		if got.Theta[i] != c.Theta[i] {
+			t.Fatalf("theta[%d] = %g, want %g", i, got.Theta[i], c.Theta[i])
+		}
+	}
+	for i := range c.History {
+		if got.History[i] != c.History[i] {
+			t.Fatalf("history[%d] = %g, want %g", i, got.History[i], c.History[i])
+		}
+	}
+	// Cross-format confusion must be rejected.
+	if _, err := LoadITE(path, eng); err == nil {
+		t.Fatal("LoadITE accepted a VQE checkpoint")
+	}
+}

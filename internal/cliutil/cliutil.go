@@ -11,6 +11,7 @@ import (
 	"io"
 	"os"
 
+	"gokoala/internal/health"
 	"gokoala/internal/obs"
 	"gokoala/internal/pool"
 )
@@ -32,6 +33,90 @@ func ApplyWorkers(n int) {
 	if n > 0 {
 		pool.SetWorkers(n)
 	}
+}
+
+// HealthFlag registers the standard -health flag. Call ApplyHealth with
+// its value after flag.Parse.
+func HealthFlag() *string {
+	return flag.String("health", "off", "numerical health policy: off | count | error")
+}
+
+// ApplyHealth parses the -health flag value and installs the policy.
+func ApplyHealth(s string) error {
+	p, err := health.ParsePolicy(s)
+	if err != nil {
+		return err
+	}
+	health.SetPolicy(p)
+	return nil
+}
+
+// WriteHealthCounters prints the always-on numerical-health counters to w
+// when any of them fired; silent on a clean run.
+func WriteHealthCounters(w io.Writer) {
+	counters := []struct {
+		name string
+		n    int64
+	}{
+		{"nan_detected", health.NaNDetected()},
+		{"svd_fallbacks", health.SVDFallbacks()},
+		{"gram_fallbacks", health.GramFallbacks()},
+		{"nonconverged", health.Nonconverged()},
+		{"checkpoint_failures", health.CheckpointFailures()},
+	}
+	any := false
+	for _, c := range counters {
+		if c.n != 0 {
+			any = true
+		}
+	}
+	if !any {
+		return
+	}
+	fmt.Fprintln(w, "\n-- numerical health --")
+	for _, c := range counters {
+		if c.n != 0 {
+			fmt.Fprintf(w, "health.%s: %d\n", c.name, c.n)
+		}
+	}
+}
+
+// CheckpointConfig carries the shared crash-safe checkpoint flags.
+// Construct with CheckpointFlags before flag.Parse.
+type CheckpointConfig struct {
+	// Path is the -checkpoint flag: the checkpoint file to write (and to
+	// resume from with -resume).
+	Path *string
+	// Every is the -checkpoint-every flag: the interval (in the unit
+	// passed to CheckpointFlags) between checkpoint writes.
+	Every *int
+	// Resume is the -resume flag: continue from Path when it exists, and
+	// start fresh when it does not.
+	Resume *bool
+	// DieAfter is the -die-after flag: exit with code 3 after that many
+	// completed units — the crash-injection hook the resume smoke test
+	// (make bench-resume) uses.
+	DieAfter *int
+}
+
+// CheckpointFlags registers the shared -checkpoint, -checkpoint-every,
+// -resume and -die-after flags; unit names the checkpoint granularity
+// ("steps" for ITE, "rounds" for VQE).
+func CheckpointFlags(unit string) *CheckpointConfig {
+	return &CheckpointConfig{
+		Path:     flag.String("checkpoint", "", "write crash-safe checkpoints to this file"),
+		Every:    flag.Int("checkpoint-every", 1, "checkpoint every k "+unit),
+		Resume:   flag.Bool("resume", false, "resume from -checkpoint when it exists"),
+		DieAfter: flag.Int("die-after", 0, "exit(3) after this many "+unit+" (crash-injection testing)"),
+	}
+}
+
+// Validate checks flag consistency after flag.Parse.
+func (c *CheckpointConfig) Validate() error {
+	if (*c.Resume || *c.DieAfter > 0) && *c.Path == "" {
+		return fmt.Errorf("-resume and -die-after require -checkpoint")
+	}
+	return nil
 }
 
 // ObsConfig carries the shared observability flags. Zero value is

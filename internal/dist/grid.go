@@ -12,23 +12,39 @@ import (
 // executed on it. Block computations really execute as one goroutine per
 // (occupied) rank over disjoint row blocks; the accounting converts the
 // measured message, byte, and flop counts into modeled seconds on the
-// machine. The public API is meant to be driven from a single
-// orchestrating goroutine.
+// machine.
+//
+// All accounting entry points are safe to drive from multiple task-group
+// workers concurrently: time accumulates in integer picoseconds under the
+// mutex, so the totals are independent of the interleaving (integer
+// addition commutes; float summation would make the stats depend on
+// worker count). The exceptions are Sequential and PartialParallel, which
+// attribute a *measured* global flop delta and therefore still require a
+// single driving goroutine — concurrent callers should charge analytic
+// counts through ChargeFlops instead.
 type Grid struct {
 	Machine Machine
 
 	mu          sync.Mutex
 	msgs        int64
 	bytes       int64
-	commLatSecs float64
-	bwGemm      float64 // GEMM-lower-bound traffic (scales ~ flops/sqrt(memory))
-	bwBig       float64 // full-tensor redistributions and gathers (scale ~ r^4)
-	bwSmall     float64 // small-matrix collectives of the Gram path (scale ~ r^2)
-	compSecs    float64
+	commLatPs   int64 // alpha (message startup) time, picoseconds
+	bwGemmPs    int64 // GEMM-lower-bound traffic (scales ~ flops/sqrt(memory))
+	bwBigPs     int64 // full-tensor redistributions and gathers (scale ~ r^4)
+	bwSmallPs   int64 // small-matrix collectives of the Gram path (scale ~ r^2)
+	compPs      int64
 	parFlops    int64
 	seqFlops    int64
 	redistCount int64
 }
+
+// picos converts modeled seconds to the integer picoseconds the
+// accumulators hold. A picosecond is far below the alpha of any machine
+// model (Stampede2 alpha is 10 us), so the rounding is invisible, while
+// integer accumulation makes concurrent metering order-independent.
+func picos(secs float64) int64 { return int64(math.Round(secs * 1e12)) }
+
+func secs(ps int64) float64 { return float64(ps) / 1e12 }
 
 // NewGrid returns a grid for the given machine model.
 func NewGrid(m Machine) *Grid {
@@ -92,14 +108,14 @@ func (g *Grid) Reset() {
 	g.mu.Lock()
 	defer g.mu.Unlock()
 	g.msgs, g.bytes, g.parFlops, g.seqFlops, g.redistCount = 0, 0, 0, 0, 0
-	g.commLatSecs, g.bwGemm, g.bwBig, g.bwSmall, g.compSecs = 0, 0, 0, 0, 0
+	g.commLatPs, g.bwGemmPs, g.bwBigPs, g.bwSmallPs, g.compPs = 0, 0, 0, 0, 0
 }
 
 // Snapshot returns the current counters.
 func (g *Grid) Snapshot() Stats {
 	g.mu.Lock()
 	defer g.mu.Unlock()
-	return Stats{g.msgs, g.bytes, g.commLatSecs, g.bwGemm, g.bwBig, g.bwSmall, g.compSecs, g.parFlops, g.seqFlops, g.redistCount}
+	return Stats{g.msgs, g.bytes, secs(g.commLatPs), secs(g.bwGemmPs), secs(g.bwBigPs), secs(g.bwSmallPs), secs(g.compPs), g.parFlops, g.seqFlops, g.redistCount}
 }
 
 // --- collective accounting ---
@@ -114,17 +130,18 @@ const (
 )
 
 func (g *Grid) addComm(msgs int64, bytes int64, latSecs, bwSecs float64, class bwClass) {
+	latPs, bwPs := picos(latSecs), picos(bwSecs)
 	g.mu.Lock()
 	g.msgs += msgs
 	g.bytes += bytes
-	g.commLatSecs += latSecs
+	g.commLatPs += latPs
 	switch class {
 	case bwClassGemm:
-		g.bwGemm += bwSecs
+		g.bwGemmPs += bwPs
 	case bwClassBig:
-		g.bwBig += bwSecs
+		g.bwBigPs += bwPs
 	default:
-		g.bwSmall += bwSecs
+		g.bwSmallPs += bwPs
 	}
 	g.mu.Unlock()
 	observeComm(msgs, bytes, latSecs+bwSecs)
@@ -191,23 +208,47 @@ func log2msgs(p int) int64 {
 }
 
 // ParallelFlops credits flops that are evenly distributed over the ranks.
-func (g *Grid) ParallelFlops(n int64) {
-	secs := g.Machine.Gamma * float64(n) / float64(g.Machine.Ranks)
+func (g *Grid) ParallelFlops(n int64) { g.ChargeFlops(n, g.Machine.Ranks) }
+
+// ChargeFlops accounts an analytic flop count n at an effective
+// parallelism of eff ranks (clamped to [1, Ranks]). Unlike Sequential and
+// PartialParallel it never reads the measured global flop counter, so it
+// is safe — and exact — when concurrent task-group workers drive the same
+// grid: linalg exposes the analytic counts its kernels charge (SVDFlops,
+// QRFlops, EigFlops) precisely so callers can meter this way.
+func (g *Grid) ChargeFlops(n int64, eff int) {
+	if eff < 1 {
+		eff = 1
+	}
+	if eff > g.Machine.Ranks {
+		eff = g.Machine.Ranks
+	}
+	s := g.Machine.Gamma * float64(n) / float64(eff)
+	p := picos(s)
 	g.mu.Lock()
-	g.parFlops += n
-	g.compSecs += secs
+	if eff == 1 {
+		g.seqFlops += n
+	} else {
+		g.parFlops += n
+	}
+	g.compPs += p
 	g.mu.Unlock()
-	observeComp(secs)
+	observeComp(s)
 }
 
 // Sequential runs f, measuring the flops it adds to the global tensor
 // counter, and accounts them as single-rank work (small local matrices in
-// the Gram-method path, paper Algorithm 5 steps 3-8).
+// the Gram-method path, paper Algorithm 5 steps 3-8). The measured delta
+// includes any flops charged concurrently by other goroutines, so this
+// must only be used from a single driving goroutine; concurrent metering
+// goes through ChargeFlops.
 func (g *Grid) Sequential(f func()) { g.PartialParallel(1, f) }
 
 // PartialParallel runs f and accounts its measured flops at an effective
 // parallelism of eff ranks. This models kernels like ScaLAPACK SVD whose
-// scalability saturates well below the GEMM-style rank count.
+// scalability saturates well below the GEMM-style rank count. Like
+// Sequential it attributes a global measured delta and is not safe for
+// concurrent drivers; prefer ChargeFlops with an analytic count.
 func (g *Grid) PartialParallel(eff int, f func()) {
 	if eff < 1 {
 		eff = 1
@@ -218,16 +259,7 @@ func (g *Grid) PartialParallel(eff int, f func()) {
 	before := tensor.FlopCount()
 	f()
 	delta := tensor.FlopCount() - before
-	secs := g.Machine.Gamma * float64(delta) / float64(eff)
-	g.mu.Lock()
-	if eff == 1 {
-		g.seqFlops += delta
-	} else {
-		g.parFlops += delta
-	}
-	g.compSecs += secs
-	g.mu.Unlock()
-	observeComp(secs)
+	g.ChargeFlops(delta, eff)
 }
 
 const bytesPerElem = 16 // complex128

@@ -30,6 +30,7 @@ import (
 	"strings"
 
 	"gokoala/internal/backend"
+	"gokoala/internal/health"
 	"gokoala/internal/linalg"
 	"gokoala/internal/tensor"
 )
@@ -71,7 +72,12 @@ type Explicit struct {
 func (e Explicit) Name() string { return "explicit-svd" }
 
 // ImplicitRand applies the network as an implicit operator inside
-// randomized SVD (paper Algorithm 4).
+// randomized SVD (paper Algorithm 4). Every factorization is followed by
+// a deterministic subspace probe (linalg.RandSVDReport); when the probe
+// residual exceeds FallbackTol the randomized factors are discarded and
+// the spec is re-factored through the exact Explicit path, counted in
+// health.svd_fallbacks. Graceful degradation: the result is then the one
+// the paper's baseline algorithm would have produced.
 type ImplicitRand struct {
 	Mode SigmaMode
 	// NIter is the number of orthogonal-iteration rounds (default 1).
@@ -80,6 +86,12 @@ type ImplicitRand struct {
 	Oversample int
 	// Rng supplies the sketch; required.
 	Rng *rand.Rand
+	// FallbackTol is the probe-residual threshold beyond which the
+	// factorization degrades to the exact path. Zero selects
+	// health.DefaultSubspaceTol; negative disables the fallback (the
+	// probe still runs and non-convergence is still visible in the
+	// returned report counters).
+	FallbackTol float64
 }
 
 func (ImplicitRand) Name() string { return "implicit-rsvd" }
@@ -355,7 +367,15 @@ func (ir ImplicitRand) Factor(eng backend.Engine, spec string, rank int, ops ...
 		oversample = 4
 	}
 	op := newNetworkOperator(eng, p, ops)
-	u, s, v := backend.RandSVD(eng, op, rank, nIter, oversample, ir.Rng)
+	u, s, v, rep := backend.RandSVDChecked(eng, op, rank, nIter, oversample, ir.Rng, ir.FallbackTol)
+	if !rep.Converged && ir.FallbackTol >= 0 {
+		// The sketch missed too much of the operator: degrade to the
+		// exact contract-then-SVD path. The probe and this decision are
+		// deterministic (the probe rng never touches ir.Rng), so the
+		// fallback fires identically at any worker count.
+		health.CountSVDFallback()
+		return Explicit{Mode: ir.Mode}.Factor(eng, spec, rank, ops...)
+	}
 	a, b := p.assemble(eng, u, s, v, ir.Mode)
 	return a, b, s, nil
 }

@@ -1,0 +1,93 @@
+package einsumsvd
+
+import (
+	"math/rand"
+	"testing"
+
+	"gokoala/internal/backend"
+	"gokoala/internal/health"
+	"gokoala/internal/obs"
+	"gokoala/internal/tensor"
+)
+
+// flatSpectrum returns an n-by-n identity: at rank k < n the randomized
+// sketch can only capture k of n equally important directions, so the
+// subspace probe must flag the factorization.
+func flatSpectrum(n int) *tensor.Dense {
+	t := tensor.New(n, n)
+	for i := 0; i < n; i++ {
+		t.Set(1, i, i)
+	}
+	return t
+}
+
+func TestImplicitRandFallsBackToExplicit(t *testing.T) {
+	health.ResetCounters()
+	obs.Enable() // zero sinks: counters only
+	defer obs.Disable()
+	eng := backend.NewDense()
+	// 16 equal directions, sketch width rank+oversample = 6: the probe
+	// must see most of the operator outside the sketch.
+	op := flatSpectrum(16)
+	const spec = "ab->ax|xb"
+
+	ir := ImplicitRand{Rng: rand.New(rand.NewSource(21)), NIter: 1}
+	a, b, s, err := ir.Factor(eng, spec, 2, op)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := health.SVDFallbacks(); got != 1 {
+		t.Fatalf("SVDFallbacks = %d, want exactly 1", got)
+	}
+	if got := obs.MetricValueOf("health.svd_fallbacks"); got != 1 {
+		t.Fatalf("obs health.svd_fallbacks = %g, want 1", got)
+	}
+
+	// The degraded result must be exactly what the Explicit strategy
+	// produces: the fallback re-factors through the same path.
+	ea, eb, es, err := (Explicit{}).Factor(eng, spec, 2, op)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tensor.AllClose(a, ea, 0, 0) || !tensor.AllClose(b, eb, 0, 0) {
+		t.Fatal("fallback factors differ from the Explicit strategy's")
+	}
+	if len(s) != len(es) {
+		t.Fatalf("fallback kept %d singular values, Explicit kept %d", len(s), len(es))
+	}
+	for i := range s {
+		if s[i] != es[i] {
+			t.Fatalf("singular value %d: %g vs Explicit %g", i, s[i], es[i])
+		}
+	}
+}
+
+func TestImplicitRandFallbackDisabled(t *testing.T) {
+	health.ResetCounters()
+	eng := backend.NewDense()
+	ir := ImplicitRand{Rng: rand.New(rand.NewSource(22)), NIter: 1, FallbackTol: -1}
+	if _, _, _, err := ir.Factor(eng, "ab->ax|xb", 2, flatSpectrum(16)); err != nil {
+		t.Fatal(err)
+	}
+	if got := health.SVDFallbacks(); got != 0 {
+		t.Fatalf("FallbackTol=-1 still fell back %d times", got)
+	}
+}
+
+func TestImplicitRandHealthyFactorizationDoesNotFallBack(t *testing.T) {
+	health.ResetCounters()
+	eng := backend.NewDense()
+	// Rapidly decaying spectrum: rank 2 captures essentially everything.
+	op := tensor.New(6, 6)
+	diag := []float64{3, 2, 1e-9, 1e-9, 1e-9, 1e-9}
+	for i, d := range diag {
+		op.Set(complex(d, 0), i, i)
+	}
+	ir := ImplicitRand{Rng: rand.New(rand.NewSource(23)), NIter: 2, Oversample: 2}
+	if _, _, _, err := ir.Factor(eng, "ab->ax|xb", 2, op); err != nil {
+		t.Fatal(err)
+	}
+	if got := health.SVDFallbacks(); got != 0 {
+		t.Fatalf("healthy factorization fell back %d times", got)
+	}
+}

@@ -20,6 +20,20 @@ type Forker interface {
 // (Explicit) forks into shared copies. Fork returns nil for unknown
 // stateful strategies, signaling the caller to fall back to a
 // sequential path.
+// Reseed returns a copy of st whose random stream restarts from seed;
+// stateless strategies come back unchanged. Callers that reseed at known
+// boundaries (ite.Evolve reseeds per measurement step) make their random
+// streams a pure function of (base seed, step), which is what lets a
+// checkpoint-resumed run reproduce an uninterrupted one bit-identically:
+// the resumed process never needs the rng position the dead process had.
+func Reseed(st Strategy, seed int64) Strategy {
+	if s, ok := st.(ImplicitRand); ok {
+		s.Rng = rand.New(rand.NewSource(seed))
+		return s
+	}
+	return st
+}
+
 func Fork(st Strategy, n int) []Strategy {
 	if n <= 0 {
 		return nil

@@ -8,7 +8,9 @@ package ite
 import (
 	"math/rand"
 
+	"gokoala/internal/checkpoint"
 	"gokoala/internal/einsumsvd"
+	"gokoala/internal/health"
 	"gokoala/internal/peps"
 	"gokoala/internal/quantum"
 )
@@ -26,7 +28,9 @@ type Options struct {
 	ContractionRank int
 	// Strategy is the einsumsvd strategy for energy contraction; nil
 	// selects implicit randomized SVD (IBMPS), as in the paper's
-	// Figure 13 runs.
+	// Figure 13 runs. Stateful strategies are reseeded from (Seed, step)
+	// before every measurement, making each measurement's random stream a
+	// pure function of the step — the property checkpoint resume needs.
 	Strategy einsumsvd.Strategy
 	// MeasureEvery measures the energy every k steps (default 1). The
 	// final step is always measured.
@@ -41,8 +45,27 @@ type Options struct {
 	SecondOrder bool
 	// WeightedUpdate uses the lambda-weighted (Jiang-Weng-Xiang) simple
 	// update instead of the plain per-bond truncation; substantially more
-	// accurate at equal rank.
+	// accurate at equal rank. Incompatible with checkpointing (the bond
+	// weights are not serialized).
 	WeightedUpdate bool
+
+	// CheckpointPath, when non-empty, writes a crash-safe checkpoint of
+	// the evolved state and trace after every CheckpointEvery-th step
+	// (and after the final step). A failed write is counted in
+	// health.checkpoint_failures and the evolution continues.
+	CheckpointPath string
+	// CheckpointEvery is the step interval between checkpoints
+	// (default 1).
+	CheckpointEvery int
+	// From resumes the evolution from a loaded checkpoint: the state,
+	// completed-step counter, energy trace, and base seed all come from
+	// the checkpoint (the checkpoint's seed overrides Seed, so a resumed
+	// run reproduces the uninterrupted one bit for bit).
+	From *checkpoint.ITECheckpoint
+	// AfterStep, when non-nil, runs after each step's bookkeeping
+	// (measurement and checkpoint write) with the 1-based step index.
+	// Crash-injection tests use it to kill the process mid-run.
+	AfterStep func(step int)
 }
 
 // Result holds the evolution trace.
@@ -56,13 +79,39 @@ type Result struct {
 	Final *peps.PEPS
 }
 
+// stepSeed derives the measurement-stream seed for one step from the base
+// seed (splitmix64-style mixing, so adjacent steps get unrelated streams).
+func stepSeed(seed int64, step int) int64 {
+	z := uint64(seed) + 0x9E3779B97F4A7C15*uint64(step+1)
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return int64(z ^ (z >> 31))
+}
+
 // Evolve runs ITE on the given initial state and returns the energy
-// trace. The state is evolved in place. Starting from the |+...+> product
-// state (see PlusState) guarantees overlap with the ground sector of the
-// benchmark Hamiltonians.
+// trace. The state is evolved in place (resume replaces it with the
+// checkpointed state). Starting from the |+...+> product state (see
+// PlusState) guarantees overlap with the ground sector of the benchmark
+// Hamiltonians.
 func Evolve(state *peps.PEPS, obs *quantum.Observable, opts Options) Result {
 	if opts.MeasureEvery <= 0 {
 		opts.MeasureEvery = 1
+	}
+	if (opts.CheckpointPath != "" || opts.From != nil) && opts.WeightedUpdate {
+		panic("ite: checkpointing does not support WeightedUpdate (bond weights are not serialized)")
+	}
+	if opts.CheckpointEvery <= 0 {
+		opts.CheckpointEvery = 1
+	}
+	var res Result
+	start := 1
+	if opts.From != nil {
+		cp := opts.From
+		state = cp.State
+		opts.Seed = cp.Seed
+		start = cp.Step + 1
+		res.Energies = append(res.Energies, cp.Energies...)
+		res.MeasuredAt = append(res.MeasuredAt, cp.MeasuredAt...)
 	}
 	strategy := opts.Strategy
 	if strategy == nil {
@@ -79,17 +128,11 @@ func Evolve(state *peps.PEPS, obs *quantum.Observable, opts Options) Result {
 		Method:    peps.UpdateQR,
 		Normalize: true,
 	}
-	expOpts := peps.ExpectationOptions{
-		M:        opts.ContractionRank,
-		Strategy: strategy,
-		UseCache: opts.UseCache,
-	}
 	var su *peps.SimpleUpdate
 	if opts.WeightedUpdate {
 		su = peps.NewSimpleUpdate(state)
 	}
-	var res Result
-	for step := 1; step <= opts.Steps; step++ {
+	for step := start; step <= opts.Steps; step++ {
 		if su != nil {
 			su.ApplyCircuit(gates, opts.EvolutionRank, nil)
 		} else {
@@ -100,8 +143,33 @@ func Evolve(state *peps.PEPS, obs *quantum.Observable, opts Options) Result {
 			if su != nil {
 				measured = su.Absorb()
 			}
-			res.Energies = append(res.Energies, measured.EnergyPerSite(obs, expOpts))
+			// Reseed the measurement stream from (Seed, step): the stream
+			// no longer depends on how many measurements ran before, so a
+			// resumed run reproduces it exactly.
+			st := einsumsvd.Reseed(strategy, stepSeed(opts.Seed, step))
+			e := measured.EnergyPerSite(obs, peps.ExpectationOptions{
+				M:        opts.ContractionRank,
+				Strategy: st,
+				UseCache: opts.UseCache,
+			})
+			health.CheckFloat("ite.energy", e)
+			res.Energies = append(res.Energies, e)
 			res.MeasuredAt = append(res.MeasuredAt, step)
+		}
+		if opts.CheckpointPath != "" && (step%opts.CheckpointEvery == 0 || step == opts.Steps) {
+			// Failed writes are counted (health.checkpoint_failures) by
+			// WriteAtomic and the previous checkpoint stays valid; losing
+			// one checkpoint must not kill an hours-long evolution.
+			_ = checkpoint.SaveITE(opts.CheckpointPath, &checkpoint.ITECheckpoint{
+				Step:       step,
+				Seed:       opts.Seed,
+				Energies:   res.Energies,
+				MeasuredAt: res.MeasuredAt,
+				State:      state,
+			})
+		}
+		if opts.AfterStep != nil {
+			opts.AfterStep(step)
 		}
 	}
 	res.Final = state

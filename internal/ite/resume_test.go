@@ -1,0 +1,161 @@
+package ite
+
+import (
+	"math"
+	"math/rand"
+	"path/filepath"
+	"testing"
+
+	"gokoala/internal/backend"
+	"gokoala/internal/checkpoint"
+	"gokoala/internal/einsumsvd"
+	"gokoala/internal/health"
+	"gokoala/internal/peps"
+	"gokoala/internal/pool"
+	"gokoala/internal/quantum"
+	"gokoala/internal/tensor"
+)
+
+// TestResumeBitIdentical is the headline checkpoint property: killing a
+// run after step k and resuming from the checkpoint reproduces the
+// uninterrupted run's energy trace and final state bit for bit, at any
+// worker count. Per-measurement reseeding (stepSeed) is what makes this
+// hold for the randomized strategies.
+func TestResumeBitIdentical(t *testing.T) {
+	defer pool.SetWorkers(0)
+	rows, cols := 2, 3
+	obs := quantum.TransverseFieldIsing(rows, cols, -1, -2.5)
+	newState := func() *peps.PEPS {
+		return PlusState(peps.ComputationalZeros(backend.NewDense(), rows, cols))
+	}
+	base := Options{
+		Tau:             0.05,
+		Steps:           6,
+		EvolutionRank:   2,
+		ContractionRank: 4,
+		Strategy:        einsumsvd.ImplicitRand{Rng: rand.New(rand.NewSource(7))},
+		Seed:            99,
+		UseCache:        true,
+	}
+	for _, workers := range []int{1, 4} {
+		pool.SetWorkers(workers)
+		full := Evolve(newState(), obs, base)
+
+		// "Crash" after step 3: run only the first half with checkpointing.
+		path := filepath.Join(t.TempDir(), "run.ckpt")
+		partial := base
+		partial.Steps = 3
+		partial.CheckpointPath = path
+		Evolve(newState(), obs, partial)
+
+		cp, err := checkpoint.LoadITE(path, backend.NewDense())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cp.Step != 3 {
+			t.Fatalf("checkpoint at step %d, want 3", cp.Step)
+		}
+		resumed := base
+		resumed.From = cp
+		resumed.Seed = 0 // must be irrelevant: the checkpoint's seed wins
+		res := Evolve(nil, obs, resumed)
+
+		if len(res.Energies) != len(full.Energies) {
+			t.Fatalf("workers=%d: trace lengths differ: %d vs %d", workers, len(res.Energies), len(full.Energies))
+		}
+		for i := range full.Energies {
+			if res.Energies[i] != full.Energies[i] {
+				t.Fatalf("workers=%d: energy[%d] differs: %.17g vs %.17g",
+					workers, i, res.Energies[i], full.Energies[i])
+			}
+			if res.MeasuredAt[i] != full.MeasuredAt[i] {
+				t.Fatalf("workers=%d: MeasuredAt[%d] differs", workers, i)
+			}
+		}
+		if res.Final.LogScale != full.Final.LogScale {
+			t.Fatalf("workers=%d: LogScale differs: %g vs %g", workers, res.Final.LogScale, full.Final.LogScale)
+		}
+		for r := 0; r < rows; r++ {
+			for c := 0; c < cols; c++ {
+				if !tensor.AllClose(res.Final.Site(r, c), full.Final.Site(r, c), 0, 0) {
+					t.Fatalf("workers=%d: site (%d,%d) not bit-identical", workers, r, c)
+				}
+			}
+		}
+	}
+}
+
+// TestCheckpointFailureDoesNotAbortEvolution: a failed checkpoint write is
+// counted and skipped; the run completes and a later checkpoint is still
+// written and resumable.
+func TestCheckpointFailureDoesNotAbortEvolution(t *testing.T) {
+	defer health.SetCheckpointFault(nil)
+	health.ResetCounters()
+	path := filepath.Join(t.TempDir(), "run.ckpt")
+	obs := quantum.TransverseFieldIsing(2, 2, -1, -2.5)
+	state := PlusState(peps.ComputationalZeros(backend.NewDense(), 2, 2))
+
+	// First checkpoint write (after step 1) fails; the rest succeed.
+	health.NewInjector(5).FailCheckpoints(1)
+	res := Evolve(state, obs, Options{
+		Tau:             0.05,
+		Steps:           3,
+		EvolutionRank:   2,
+		ContractionRank: 4,
+		Strategy:        einsumsvd.Explicit{},
+		CheckpointPath:  path,
+	})
+	if len(res.Energies) != 3 {
+		t.Fatalf("run did not complete: %d measurements", len(res.Energies))
+	}
+	if got := health.CheckpointFailures(); got != 1 {
+		t.Fatalf("CheckpointFailures = %d, want exactly 1", got)
+	}
+	cp, err := checkpoint.LoadITE(path, backend.NewDense())
+	if err != nil {
+		t.Fatalf("final checkpoint unreadable: %v", err)
+	}
+	if cp.Step != 3 {
+		t.Fatalf("final checkpoint at step %d, want 3", cp.Step)
+	}
+}
+
+// TestEvolveDetectsInjectedNaN: a NaN flipped into the state surfaces at
+// the expectation stage guard under PolicyCount without aborting the run.
+func TestEvolveDetectsInjectedNaN(t *testing.T) {
+	defer health.SetPolicy(health.PolicyOff)
+	health.ResetCounters()
+	health.SetPolicy(health.PolicyCount)
+
+	obs := quantum.TransverseFieldIsing(2, 2, -1, -2.5)
+	state := PlusState(peps.ComputationalZeros(backend.NewDense(), 2, 2))
+	health.NewInjector(3).FlipNaN(state.Site(0, 0))
+	res := Evolve(state, obs, Options{
+		Tau:             0.05,
+		Steps:           1,
+		EvolutionRank:   2,
+		ContractionRank: 4,
+		Strategy:        einsumsvd.Explicit{},
+	})
+	if health.NaNDetected() == 0 {
+		t.Fatal("injected NaN not detected at any stage guard")
+	}
+	if !math.IsNaN(res.Energies[0]) {
+		t.Fatalf("poisoned run produced finite energy %g", res.Energies[0])
+	}
+}
+
+// TestStepSeedDistinct: adjacent steps and adjacent seeds must not share
+// measurement streams.
+func TestStepSeedDistinct(t *testing.T) {
+	seen := map[int64]bool{}
+	for seed := int64(0); seed < 3; seed++ {
+		for step := 0; step < 64; step++ {
+			s := stepSeed(seed, step)
+			if seen[s] {
+				t.Fatalf("stepSeed collision at seed %d step %d", seed, step)
+			}
+			seen[s] = true
+		}
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"math/cmplx"
 	"sort"
 
+	"gokoala/internal/health"
 	"gokoala/internal/tensor"
 )
 
@@ -15,27 +16,45 @@ const eigTol = 1e-14
 
 // maxJacobiSweeps bounds both the Hermitian eigensolver and the one-sided
 // SVD; convergence is quadratic so well-conditioned problems finish in a
-// handful of sweeps.
-const maxJacobiSweeps = 60
+// handful of sweeps. A variable (not a const) so regression tests can
+// starve the iteration and exercise the non-convergence reporting path.
+var maxJacobiSweeps = 60
+
+// EigFlops exposes the analytic HEEV-style flop count charged by EigH
+// (~9 n^3 / 2 complex fused multiply-adds).
+func EigFlops(n int) int64 {
+	n64 := int64(n)
+	return 9 * n64 * n64 * n64 / 2
+}
 
 // EigH computes the eigendecomposition A = V diag(w) V* of a Hermitian
 // matrix by the cyclic complex Jacobi method. Eigenvalues are returned in
 // ascending order with matching eigenvector columns. The input must be
 // Hermitian; only its Hermitian part influences the result.
 func EigH(a *tensor.Dense) (w []float64, v *tensor.Dense) {
+	w, v, _ = EigHReport(a)
+	return w, v
+}
+
+// EigHReport is EigH plus the convergence report of the cyclic Jacobi
+// iteration; non-convergence is recorded in health.nonconverged and the
+// best-effort decomposition is still returned.
+func EigHReport(a *tensor.Dense) (w []float64, v *tensor.Dense, rep Report) {
 	if a.Rank() != 2 || a.Dim(0) != a.Dim(1) {
 		panic(fmt.Sprintf("linalg: EigH requires a square matrix, got %v", a.Shape()))
 	}
 	// Charge the global flop counter with the standard HEEV-style count
-	// (~9 n^3 / 2 complex fused multiply-adds) rather than the cyclic
-	// Jacobi iteration's larger raw arithmetic; see svdFlops.
-	n64 := int64(a.Dim(0))
-	chargeAnalytic(func() { w, v = eigHJacobi(a) }, 9*n64*n64*n64/2)
-	return w, v
+	// rather than the cyclic Jacobi iteration's larger raw arithmetic;
+	// see svdFlops.
+	chargeAnalytic(func() { w, v, rep = eigHJacobi(a) }, EigFlops(a.Dim(0)))
+	if !rep.Converged {
+		health.CountNonconverged("linalg.eigh")
+	}
+	return w, v, rep
 }
 
 // eigHJacobi is the cyclic Jacobi worker behind EigH.
-func eigHJacobi(a *tensor.Dense) (w []float64, v *tensor.Dense) {
+func eigHJacobi(a *tensor.Dense) (w []float64, v *tensor.Dense, rep Report) {
 	n := a.Dim(0)
 	// Work on the Hermitian average to be robust against tiny asymmetries
 	// from upstream floating point.
@@ -60,14 +79,19 @@ func eigHJacobi(a *tensor.Dense) (w []float64, v *tensor.Dense) {
 		frob = 1
 	}
 
-	for sweep := 0; sweep < maxJacobiSweeps; sweep++ {
+	for rep.Sweeps = 0; ; rep.Sweeps++ {
 		off := 0.0
 		for p := 0; p < n; p++ {
 			for q := p + 1; q < n; q++ {
 				off += cmplx.Abs(m[p*n+q]) * cmplx.Abs(m[p*n+q])
 			}
 		}
-		if math.Sqrt(2*off) <= eigTol*frob {
+		rep.Residual = math.Sqrt(2*off) / frob
+		if rep.Residual <= eigTol {
+			rep.Converged = true
+			break
+		}
+		if rep.Sweeps >= maxJacobiSweeps {
 			break
 		}
 		for p := 0; p < n; p++ {
@@ -102,7 +126,7 @@ func eigHJacobi(a *tensor.Dense) (w []float64, v *tensor.Dense) {
 			od[i*n+k] = vd[i*n+pr.col]
 		}
 	}
-	return w, v
+	return w, v, rep
 }
 
 // jacobiRotation returns the (c, s, phase) of the unitary 2x2 rotation

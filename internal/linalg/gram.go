@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 
+	"gokoala/internal/health"
 	"gokoala/internal/tensor"
 )
 
@@ -34,6 +35,17 @@ func GramOrth(a *tensor.Dense) (q, r *tensor.Dense) {
 	ah := a.Conj().Transpose(1, 0)
 	g := tensor.MatMul(ah, a)
 	w, x := EigH(g)
+
+	// The Gram eigenvalues are the squared singular values of A, so
+	// wmax/wmin estimates κ²(A). Past health.Kappa2Max the squared
+	// conditioning has destroyed the small directions in double
+	// precision: degrade to Householder QR, which orthogonalizes A
+	// directly and never squares κ. Q and R keep the same shapes for
+	// tall inputs (k = n), so callers are unaffected beyond accuracy.
+	if n > 0 && health.GramIllConditioned(w[n-1], w[0]) {
+		health.CountGramFallback()
+		return QR(a)
+	}
 
 	wmax := 0.0
 	for _, v := range w {

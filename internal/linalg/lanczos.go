@@ -5,6 +5,7 @@ import (
 	"math/cmplx"
 	"math/rand"
 
+	"gokoala/internal/health"
 	"gokoala/internal/tensor"
 )
 
@@ -21,6 +22,16 @@ type MatVecFunc func(x []complex128) []complex128
 // studies (paper Figures 13 and 14), where the Hamiltonian is applied
 // term by term to state vectors of up to 2^16 amplitudes.
 func Lanczos(matvec MatVecFunc, n, maxIter int, tol float64, rng *rand.Rand) (eval float64, evec []complex128) {
+	eval, evec, _ = LanczosReport(matvec, n, maxIter, tol, rng)
+	return eval, evec
+}
+
+// LanczosReport is Lanczos plus a convergence report: Converged when the
+// recurrence residual (the last beta) dropped below tol before the
+// iteration budget ran out, or when the Krylov basis reached the full
+// space dimension (in which case the projection is exact). Exhausting
+// maxIter with beta still above tol is recorded in health.nonconverged.
+func LanczosReport(matvec MatVecFunc, n, maxIter int, tol float64, rng *rand.Rand) (eval float64, evec []complex128, rep Report) {
 	if maxIter > n {
 		maxIter = n
 	}
@@ -62,7 +73,10 @@ func Lanczos(matvec MatVecFunc, n, maxIter int, tol float64, rng *rand.Rand) (ev
 			}
 		}
 		b := math.Sqrt(normSq(hv))
+		rep.Residual = b
+		rep.Sweeps = it + 1
 		if b < tol {
+			rep.Converged = true
 			break
 		}
 		betas = append(betas, b)
@@ -71,6 +85,14 @@ func Lanczos(matvec MatVecFunc, n, maxIter int, tol float64, rng *rand.Rand) (ev
 			hv[i] *= inv
 		}
 		w = hv
+	}
+	// A Krylov basis spanning the full space makes the tridiagonal
+	// projection exact regardless of the last residual.
+	if len(basis) == n {
+		rep.Converged = true
+	}
+	if !rep.Converged {
+		health.CountNonconverged("linalg.lanczos")
 	}
 
 	// Diagonalize the tridiagonal projection with the dense Hermitian
@@ -98,7 +120,7 @@ func Lanczos(matvec MatVecFunc, n, maxIter int, tol float64, rng *rand.Rand) (ev
 		}
 	}
 	normalize(evec)
-	return eval, evec
+	return eval, evec, rep
 }
 
 func normalize(v []complex128) {

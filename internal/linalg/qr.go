@@ -19,6 +19,17 @@ import (
 	"gokoala/internal/tensor"
 )
 
+// QRFlops is the analytic flop count QR charges for an m-by-n input: each
+// of the k = min(m, n) reflectors is applied once to the trailing
+// submatrix (2 (m-j) n) and once while accumulating thin Q (2 (m-j) k),
+// summing to 2 (n+k) (m k - k(k-1)/2). Exposed so cost models can charge
+// a factorization without racing on the measured global counter.
+func QRFlops(m, n int) int64 {
+	k := int64(min(m, n))
+	s := int64(m)*k - k*(k-1)/2
+	return 2 * (int64(n) + k) * s
+}
+
 // QR computes the thin QR factorization A = Q R of an m-by-n matrix using
 // complex Householder reflections. Q is m-by-k with orthonormal columns and
 // R is k-by-n upper triangular, where k = min(m, n).

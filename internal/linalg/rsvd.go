@@ -2,8 +2,10 @@ package linalg
 
 import (
 	"fmt"
+	"math"
 	"math/rand"
 
+	"gokoala/internal/health"
 	"gokoala/internal/tensor"
 )
 
@@ -79,6 +81,33 @@ type RandSVDOptions struct {
 // It returns U (m-by-k), s (length k), V (n-by-k) with
 // k = min(rank, m, n). The operator is never materialized.
 func RandSVD(op Operator, rank int, opts RandSVDOptions) (u *tensor.Dense, s []float64, v *tensor.Dense) {
+	u, s, v, _ = randSVD(op, rank, opts, false, 0)
+	return u, s, v
+}
+
+// RandSVDReport is RandSVD plus a subspace-quality report. After the
+// sketch basis P is built, a fixed block of probe vectors w (drawn from a
+// seed derived only from the problem dimensions, never from opts.Rng, so
+// existing random streams are unshifted) is pushed through the operator
+// and the relative energy outside the sketch,
+//
+//	resid = ||(I - P P*) A w||_F / ||A w||_F,
+//
+// is measured. A healthy rank-k truncation leaves resid near the
+// discarded spectral weight; a sketch that missed a dominant subspace
+// shows resid of order one. The report is Converged when resid <= tol
+// (tol <= 0 selects health.DefaultSubspaceTol).
+func RandSVDReport(op Operator, rank int, opts RandSVDOptions, tol float64) (u *tensor.Dense, s []float64, v *tensor.Dense, rep Report) {
+	return randSVD(op, rank, opts, true, tol)
+}
+
+// probeColumns is the width of the probe block in RandSVDReport: two
+// independent Gaussian probes make the odds of both being near-orthogonal
+// to a missed dominant direction negligible, at the cost of two extra
+// operator applications.
+const probeColumns = 2
+
+func randSVD(op Operator, rank int, opts RandSVDOptions, probe bool, tol float64) (u *tensor.Dense, s []float64, v *tensor.Dense, rep Report) {
 	if opts.Rng == nil {
 		panic("linalg: RandSVD requires RandSVDOptions.Rng")
 	}
@@ -99,10 +128,43 @@ func RandSVD(op Operator, rank int, opts RandSVDOptions) (u *tensor.Dense, s []f
 		q = orth(op.ApplyAdjoint(p))
 		p = orth(op.Apply(q))
 	}
+	rep.Sweeps = opts.NIter
+	rep.Converged = true
+	if probe {
+		rep.Residual = subspaceResidual(op, p, m, n, k)
+		if tol <= 0 {
+			tol = health.DefaultSubspaceTol
+		}
+		rep.Converged = rep.Residual <= tol
+	}
 	// B = P* A as an r-by-n matrix: (A* P)*.
 	b := op.ApplyAdjoint(p).Conj().Transpose(1, 0)
 	ub, sb, vb := SVD(b)
 	kk := min(k, len(sb))
 	u = tensor.MatMul(p, sliceCols(ub, kk))
-	return u, sb[:kk], sliceCols(vb, kk)
+	return u, sb[:kk], sliceCols(vb, kk), rep
+}
+
+// subspaceResidual measures the relative Frobenius mass of A w outside
+// the orthonormal sketch basis p. The probe rng is seeded purely from the
+// problem dimensions so the check is deterministic and does not consume
+// the caller's random stream.
+func subspaceResidual(op Operator, p *tensor.Dense, m, n, k int) float64 {
+	seed := int64(0x1E3779B97F4A7C15) ^ int64(m)<<40 ^ int64(n)<<20 ^ int64(k)
+	prng := rand.New(rand.NewSource(seed))
+	probe := tensor.Rand(prng, n, probeColumns)
+	y := op.Apply(probe)
+	// y_in = P (P* y)
+	yin := tensor.MatMul(p, tensor.MatMul(p.Conj().Transpose(1, 0), y))
+	yd, ind := y.Data(), yin.Data()
+	var out, total float64
+	for i := range yd {
+		d := yd[i] - ind[i]
+		out += real(d)*real(d) + imag(d)*imag(d)
+		total += real(yd[i])*real(yd[i]) + imag(yd[i])*imag(yd[i])
+	}
+	if total == 0 {
+		return 0
+	}
+	return math.Sqrt(out / total)
 }

@@ -7,6 +7,7 @@ import (
 	"sort"
 	"sync/atomic"
 
+	"gokoala/internal/health"
 	"gokoala/internal/obs"
 	"gokoala/internal/pool"
 	"gokoala/internal/tensor"
@@ -32,6 +33,11 @@ func svdFlops(m, n int) int64 {
 	return 14 * int64(m) * int64(n) * k / 2
 }
 
+// SVDFlops exposes the analytic thin-SVD flop count charged by SVD, so
+// cost models (backend.Dist) can account a factorization without racing
+// on the measured global counter.
+func SVDFlops(m, n int) int64 { return svdFlops(m, n) }
+
 // chargeAnalytic replaces the flops f added to the global counter with
 // the given analytic count.
 func chargeAnalytic(f func(), analytic int64) {
@@ -47,20 +53,33 @@ func chargeAnalytic(f func(), analytic int64) {
 // the small singular values to high relative accuracy, which matters for
 // the truncation decisions in PEPS compression.
 func SVD(a *tensor.Dense) (u *tensor.Dense, s []float64, v *tensor.Dense) {
-	if a.Rank() != 2 {
-		panic(fmt.Sprintf("linalg: SVD requires a matrix, got rank %d", a.Rank()))
-	}
-	chargeAnalytic(func() { u, s, v = svdJacobi(a) }, svdFlops(a.Dim(0), a.Dim(1)))
+	u, s, v, _ = SVDReport(a)
 	return u, s, v
 }
 
+// SVDReport is SVD plus the convergence report of the Jacobi iteration.
+// A non-converged report (sweep budget exhausted before every column
+// pair met tolerance) is recorded in health.nonconverged; the factors
+// are still returned — they are the best available orthogonal set — so
+// callers choose between using and rejecting them.
+func SVDReport(a *tensor.Dense) (u *tensor.Dense, s []float64, v *tensor.Dense, rep Report) {
+	if a.Rank() != 2 {
+		panic(fmt.Sprintf("linalg: SVD requires a matrix, got rank %d", a.Rank()))
+	}
+	chargeAnalytic(func() { u, s, v, rep = svdJacobi(a) }, svdFlops(a.Dim(0), a.Dim(1)))
+	if !rep.Converged {
+		health.CountNonconverged("linalg.svd")
+	}
+	return u, s, v, rep
+}
+
 // svdJacobi is the one-sided Jacobi worker behind SVD.
-func svdJacobi(a *tensor.Dense) (u *tensor.Dense, s []float64, v *tensor.Dense) {
+func svdJacobi(a *tensor.Dense) (u *tensor.Dense, s []float64, v *tensor.Dense, rep Report) {
 	m, n := a.Dim(0), a.Dim(1)
 	if m < n {
 		// SVD(A) from SVD(A*): A = U S V*  <=>  A* = V S U*.
-		vv, s, uu := SVD(a.Conj().Transpose(1, 0))
-		return uu, s, vv
+		vv, s, uu, rep := svdJacobi(a.Conj().Transpose(1, 0))
+		return uu, s, vv, rep
 	}
 
 	// Column-major copy of A: cols[j] is the j-th column, length m.
@@ -94,9 +113,29 @@ func svdJacobi(a *tensor.Dense) (u *tensor.Dense, s []float64, v *tensor.Dense) 
 		pos[i] = i
 	}
 	grain := int(65536/int64(7*m)) + 1
+	// Columns with norm below eps times the largest column norm carry
+	// singular values beneath float64 relative accuracy; their partially
+	// underflowed Gram entries are inconsistent (the computed correlation
+	// can exceed 1), so rotating against them churns forever without
+	// converging. Treat them as numerical zeros: skip their rotations and
+	// exclude them from the residual scan. The floor is refreshed each
+	// sweep because rotations can grow the largest column toward sigma_max.
+	const eps = 2.220446049250313e-16
+	zeroFloor := func() float64 {
+		maxAlpha := 0.0
+		for j := 0; j < n; j++ {
+			if a := normSq(cols[j]); a > maxAlpha {
+				maxAlpha = a
+			}
+		}
+		return eps * eps * maxAlpha
+	}
+	var floor float64
 	var rotated atomic.Bool
-	for sweep := 0; sweep < maxJacobiSweeps; sweep++ {
+	rotated.Store(true) // n <= 1 never sweeps yet is trivially converged
+	for rep.Sweeps = 0; rep.Sweeps < maxJacobiSweeps; rep.Sweeps++ {
 		rotated.Store(false)
+		floor = zeroFloor()
 		for round := 0; round < nc-1; round++ {
 			pool.For(nc/2, grain, func(lo, hi int) {
 				for w := lo; w < hi; w++ {
@@ -108,7 +147,8 @@ func svdJacobi(a *tensor.Dense) (u *tensor.Dense, s []float64, v *tensor.Dense) 
 						p, q = q, p
 					}
 					alpha, beta, gamma := colGram(cols[p], cols[q])
-					if cmplx.Abs(gamma) <= tol*math.Sqrt(alpha*beta) {
+					if alpha <= floor || beta <= floor ||
+						cmplx.Abs(gamma) <= tol*math.Sqrt(alpha)*math.Sqrt(beta) {
 						continue
 					}
 					rotated.Store(true)
@@ -124,6 +164,24 @@ func svdJacobi(a *tensor.Dense) (u *tensor.Dense, s []float64, v *tensor.Dense) 
 		}
 		if !rotated.Load() {
 			break
+		}
+	}
+	// Converged iff a full sweep finished without any rotation. When the
+	// sweep budget ran out, measure how far from orthogonal the columns
+	// still are: the largest |<p,q>| / (||p|| ||q||) over column pairs
+	// (the quantity each rotation drives below tol). This scan is O(n^2 m)
+	// but only runs on the rare non-converged exit.
+	rep.Converged = !rotated.Load()
+	if !rep.Converged {
+		for p := 0; p < n; p++ {
+			for q := p + 1; q < n; q++ {
+				alpha, beta, gamma := colGram(cols[p], cols[q])
+				if alpha > floor && beta > floor {
+					if r := cmplx.Abs(gamma) / (math.Sqrt(alpha) * math.Sqrt(beta)); r > rep.Residual {
+						rep.Residual = r
+					}
+				}
+			}
 		}
 	}
 
@@ -163,7 +221,7 @@ func svdJacobi(a *tensor.Dense) (u *tensor.Dense, s []float64, v *tensor.Dense) 
 			vd[i*k+col] = vsrc[i]
 		}
 	}
-	return u, s, v
+	return u, s, v, rep
 }
 
 // colGram returns ||p||^2, ||q||^2 and <p, q> = p* q.

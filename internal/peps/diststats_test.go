@@ -1,0 +1,45 @@
+package peps
+
+import (
+	"math/rand"
+	"testing"
+
+	"gokoala/internal/backend"
+	"gokoala/internal/dist"
+	"gokoala/internal/pool"
+	"gokoala/internal/quantum"
+)
+
+// TestDistStatsWorkerCountInvariant is the regression test for the grid
+// accounting race: when lattice task groups drive a Dist engine from
+// several workers, the modeled-time accumulators must end at exactly the
+// same values as a single-worker run. The accumulators hold integer
+// picoseconds, so concurrent interleavings commute; float accumulators
+// would differ in the last ulps depending on addition order (and the old
+// unprotected fields dropped updates outright).
+func TestDistStatsWorkerCountInvariant(t *testing.T) {
+	defer pool.SetWorkers(0)
+	run := func(workers int) dist.Stats {
+		pool.SetWorkers(workers)
+		g := dist.NewGrid(dist.Stampede2(16))
+		eng := backend.NewDist(g, true)
+		rng := rand.New(rand.NewSource(51))
+		p := Random(eng, rng, 3, 3, 2, 2)
+		h := quantum.TransverseFieldIsing(3, 3, 1.0, 3.0)
+		// Cached expectation: environment sweeps and per-term strips all
+		// run as concurrent lattice tasks on the shared grid.
+		e := p.EnergyPerSite(h, ExpectationOptions{M: 4, Strategy: explicit(), UseCache: true})
+		if e == 0 {
+			t.Fatal("degenerate energy")
+		}
+		return g.Snapshot()
+	}
+	s1 := run(1)
+	s4 := run(4)
+	if s1 != s4 {
+		t.Fatalf("grid stats differ between 1 and 4 workers:\n1: %+v\n4: %+v", s1, s4)
+	}
+	if s1.CompSeconds <= 0 || s1.Msgs <= 0 {
+		t.Fatalf("implausible accounting: %+v", s1)
+	}
+}

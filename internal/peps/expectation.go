@@ -5,6 +5,7 @@ import (
 	"math"
 
 	"gokoala/internal/einsumsvd"
+	"gokoala/internal/health"
 	"gokoala/internal/obs"
 	"gokoala/internal/pool"
 	"gokoala/internal/quantum"
@@ -38,12 +39,18 @@ func (p *PEPS) Expectation(h *quantum.Observable, opts ExpectationOptions) compl
 	}
 	sp := obs.Start("peps.expectation").SetInt("terms", int64(len(h.Terms)))
 	defer sp.End()
+	var v complex128
 	if opts.UseCache {
 		sp.SetStr("mode", "cached")
-		return p.expectationCached(h, opts)
+		v = p.expectationCached(h, opts)
+	} else {
+		sp.SetStr("mode", "direct")
+		v = p.expectationDirect(h, opts)
 	}
-	sp.SetStr("mode", "direct")
-	return p.expectationDirect(h, opts)
+	// Stage guard at the observable boundary: a NaN here is the first
+	// user-visible symptom of a poisoned contraction upstream.
+	health.CheckValue("peps.expectation", v)
+	return v
 }
 
 // EnergyPerSite returns the real part of the expectation divided by the
@@ -79,6 +86,7 @@ func (p *PEPS) expectationDirect(h *quantum.Observable, opts ExpectationOptions)
 	if sts == nil {
 		opt := TwoLayerBMPS{M: opts.M, Strategy: opts.Strategy}
 		den := p.Inner(p, opt)
+		health.CheckValue("peps.norm", den)
 		var num complex128
 		for _, t := range h.Terms {
 			phi := p.applyTermExact(t)
@@ -98,6 +106,7 @@ func (p *PEPS) expectationDirect(h *quantum.Observable, opts ExpectationOptions)
 		})
 	}
 	g.Wait()
+	health.CheckValue("peps.norm", den)
 	var num complex128
 	for _, v := range vals {
 		num += v
@@ -123,6 +132,7 @@ func (p *PEPS) expectationCached(h *quantum.Observable, opts ExpectationOptions)
 	eg.Wait()
 
 	den := closeBoundaries(p.eng, tops[0], bottoms[0])
+	health.CheckValue("peps.norm", den)
 	vals := make([]complex128, n)
 	tg := pool.NewGroup("peps.expectation.terms")
 	for i, t := range h.Terms {
@@ -153,6 +163,7 @@ func (p *PEPS) expectationCachedSeq(h *quantum.Observable, opts ExpectationOptio
 	bottoms := p.BottomEnvironments(opts.M, opts.Strategy)
 
 	den := closeBoundaries(p.eng, tops[0], bottoms[0])
+	health.CheckValue("peps.norm", den)
 	var num complex128
 	for _, t := range h.Terms {
 		rlo, rhi := p.termRowSpan(t)

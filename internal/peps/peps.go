@@ -47,36 +47,52 @@ func New(eng backend.Engine, sites [][]*tensor.Dense) *PEPS {
 	return p
 }
 
+// validate panics on an inconsistent lattice; the panic form is for
+// construction sites (New) where an inconsistent lattice is a programming
+// error. Load validates untrusted bytes with checkValid instead, so a
+// corrupt checkpoint surfaces as an error, never a crash.
 func (p *PEPS) validate() {
+	if err := p.checkValid(); err != nil {
+		panic(err.Error())
+	}
+}
+
+// checkValid verifies lattice shape and bond consistency, returning the
+// first inconsistency as an error.
+func (p *PEPS) checkValid() error {
 	for r := 0; r < p.Rows; r++ {
 		if len(p.sites[r]) != p.Cols {
-			panic(fmt.Sprintf("peps: ragged row %d", r))
+			return fmt.Errorf("peps: ragged row %d", r)
 		}
 		for c := 0; c < p.Cols; c++ {
 			t := p.sites[r][c]
+			if t == nil {
+				return fmt.Errorf("peps: missing site (%d,%d)", r, c)
+			}
 			if t.Rank() != 5 {
-				panic(fmt.Sprintf("peps: site (%d,%d) has rank %d, want 5", r, c, t.Rank()))
+				return fmt.Errorf("peps: site (%d,%d) has rank %d, want 5", r, c, t.Rank())
 			}
 			if r == 0 && t.Dim(0) != 1 {
-				panic(fmt.Sprintf("peps: site (%d,%d) top boundary bond %d != 1", r, c, t.Dim(0)))
+				return fmt.Errorf("peps: site (%d,%d) top boundary bond %d != 1", r, c, t.Dim(0))
 			}
 			if r == p.Rows-1 && t.Dim(2) != 1 {
-				panic(fmt.Sprintf("peps: site (%d,%d) bottom boundary bond %d != 1", r, c, t.Dim(2)))
+				return fmt.Errorf("peps: site (%d,%d) bottom boundary bond %d != 1", r, c, t.Dim(2))
 			}
 			if c == 0 && t.Dim(1) != 1 {
-				panic(fmt.Sprintf("peps: site (%d,%d) left boundary bond %d != 1", r, c, t.Dim(1)))
+				return fmt.Errorf("peps: site (%d,%d) left boundary bond %d != 1", r, c, t.Dim(1))
 			}
 			if c == p.Cols-1 && t.Dim(3) != 1 {
-				panic(fmt.Sprintf("peps: site (%d,%d) right boundary bond %d != 1", r, c, t.Dim(3)))
+				return fmt.Errorf("peps: site (%d,%d) right boundary bond %d != 1", r, c, t.Dim(3))
 			}
 			if r+1 < p.Rows && t.Dim(2) != p.sites[r+1][c].Dim(0) {
-				panic(fmt.Sprintf("peps: vertical bond mismatch at (%d,%d)", r, c))
+				return fmt.Errorf("peps: vertical bond mismatch at (%d,%d)", r, c)
 			}
 			if c+1 < p.Cols && t.Dim(3) != p.sites[r][c+1].Dim(1) {
-				panic(fmt.Sprintf("peps: horizontal bond mismatch at (%d,%d)", r, c))
+				return fmt.Errorf("peps: horizontal bond mismatch at (%d,%d)", r, c)
 			}
 		}
 	}
+	return nil
 }
 
 // Engine returns the backend engine the state computes with.

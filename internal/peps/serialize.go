@@ -18,6 +18,12 @@ import (
 const (
 	serializeMagic   = "PEPS"
 	serializeVersion = 1
+
+	// maxSiteElems bounds a single site tensor's element count during
+	// Load (2^28 complex128s is already 4 GiB); it guards both against
+	// absurd allocations from corrupt headers and against int overflow
+	// in the dims product.
+	maxSiteElems = 1 << 28
 )
 
 // Save writes the state to w in the checkpoint format.
@@ -108,6 +114,13 @@ func Load(r io.Reader, eng backend.Engine) (*PEPS, error) {
 				}
 				shape[i] = int(d)
 				size *= int(d)
+				// Cap the cumulative element count: five dims of up to
+				// 2^20 each can overflow int through this product, and
+				// even before overflow a fabricated multi-terabyte site
+				// must be rejected rather than allocated.
+				if size > maxSiteElems {
+					return nil, fmt.Errorf("peps: load site (%d,%d): site size exceeds %d elements", rr, cc, maxSiteElems)
+				}
 			}
 			buf := make([]float64, 2*size)
 			if err := binary.Read(r, binary.LittleEndian, buf); err != nil {
@@ -115,12 +128,20 @@ func Load(r io.Reader, eng backend.Engine) (*PEPS, error) {
 			}
 			data := make([]complex128, size)
 			for i := range data {
-				data[i] = complex(buf[2*i], buf[2*i+1])
+				re, im := buf[2*i], buf[2*i+1]
+				if math.IsNaN(re) || math.IsInf(re, 0) || math.IsNaN(im) || math.IsInf(im, 0) {
+					return nil, fmt.Errorf("peps: load site (%d,%d): non-finite amplitude at element %d", rr, cc, i)
+				}
+				data[i] = complex(re, im)
 			}
 			sites[rr][cc] = tensor.FromData(data, shape...)
 		}
 	}
 	p := &PEPS{Rows: rows, Cols: cols, LogScale: logScale, sites: sites, eng: eng}
-	p.validate()
+	// Untrusted input: a corrupt checkpoint must come back as an error a
+	// resuming run can handle, never a panic.
+	if err := p.checkValid(); err != nil {
+		return nil, fmt.Errorf("peps: load: %w", err)
+	}
 	return p, nil
 }

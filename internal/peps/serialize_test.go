@@ -64,23 +64,44 @@ func TestLoadRejectsCorruptInput(t *testing.T) {
 	}
 	good := buf.Bytes()
 
+	// Truncation inside the float payload of a site (not just at a
+	// header boundary): the loader must report short reads as errors.
+	payloadCut := good[:len(good)-9]
+
+	// A NaN amplitude in the payload: every f64 after the header is
+	// payload for some site, so smash one with a quiet-NaN bit pattern.
+	nan := append([]byte{}, good...)
+	for i := 0; i < 8; i++ {
+		nan[len(nan)-8+i] = 0xff
+	}
+
 	cases := map[string][]byte{
-		"empty":       {},
-		"bad magic":   append([]byte("NOPE"), good[4:]...),
-		"truncated":   good[:len(good)/2],
-		"bad version": append(append([]byte("PEPS"), 99, 0, 0, 0), good[8:]...),
+		"empty":             {},
+		"bad magic":         append([]byte("NOPE"), good[4:]...),
+		"truncated":         good[:len(good)/2],
+		"payload truncated": payloadCut,
+		"bad version":       append(append([]byte("PEPS"), 99, 0, 0, 0), good[8:]...),
+		"nan amplitude":     nan,
 	}
 	for name, data := range cases {
-		if _, err := Load(bytes.NewReader(data), eng); err == nil {
-			t.Errorf("%s: Load should fail", name)
-		}
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Errorf("%s: Load panicked (%v) instead of returning an error", name, r)
+				}
+			}()
+			if _, err := Load(bytes.NewReader(data), eng); err == nil {
+				t.Errorf("%s: Load should fail", name)
+			}
+		}()
 	}
 }
 
 func TestLoadValidatesBondConsistency(t *testing.T) {
 	// Hand-craft a payload with mismatched bonds by saving a valid state
-	// and corrupting one dimension field. The loader's validate() must
-	// reject it (panic) or the read must error.
+	// and corrupting one dimension field. A corrupt checkpoint must come
+	// back from Load as an error — a panic would crash the resuming run
+	// this format exists to save.
 	rng := rand.New(rand.NewSource(42))
 	p := Random(eng, rng, 2, 2, 2, 3)
 	var buf bytes.Buffer
@@ -92,8 +113,33 @@ func TestLoadValidatesBondConsistency(t *testing.T) {
 	// rank u32, then 5 dims. Corrupt the right-bond dim (index 3).
 	off := 24 + 4 + 3*4
 	data[off] = 7
-	defer func() { recover() }() // validation panics are acceptable
+	defer func() {
+		if r := recover(); r != nil {
+			t.Fatalf("Load panicked (%v) instead of returning an error", r)
+		}
+	}()
 	if _, err := Load(bytes.NewReader(data), eng); err == nil {
 		t.Error("Load accepted inconsistent bonds")
+	}
+}
+
+func TestLoadRejectsOversizedSite(t *testing.T) {
+	// Five dims near 2^20 would overflow the element-count product on
+	// 64-bit int multiplication chains and demand terabytes; Load must
+	// reject the header before allocating anything.
+	rng := rand.New(rand.NewSource(43))
+	p := Random(eng, rng, 1, 1, 2, 2)
+	var buf bytes.Buffer
+	if err := p.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	// Rewrite all 5 dims of the single site to 2^20.
+	for i := 0; i < 5; i++ {
+		off := 24 + 4 + i*4
+		data[off], data[off+1], data[off+2], data[off+3] = 0, 0, 16, 0
+	}
+	if _, err := Load(bytes.NewReader(data), eng); err == nil {
+		t.Fatal("Load accepted a site with ~2^100 elements")
 	}
 }

@@ -1,6 +1,8 @@
 package pool
 
 import (
+	"fmt"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -112,14 +114,48 @@ func (g *Group) Go(body func()) {
 	g.run(body)
 }
 
+// TaskPanic is the panic value Wait re-raises when a task body panicked:
+// the original value plus the stack of the panicking task's goroutine,
+// which the recover in the task runner would otherwise discard (Wait
+// re-panics on the coordinator goroutine, whose stack says nothing about
+// where the task failed).
+type TaskPanic struct {
+	// Value is the original panic value.
+	Value any
+	// Stack is the panicking goroutine's stack at recovery time.
+	Stack []byte
+}
+
+func (p *TaskPanic) Error() string {
+	return fmt.Sprintf("pool: task panicked: %v\n\ntask stack:\n%s", p.Value, p.Stack)
+}
+
+func (p *TaskPanic) String() string { return p.Error() }
+
+// Unwrap exposes the original panic value when it was an error.
+func (p *TaskPanic) Unwrap() error {
+	if err, ok := p.Value.(error); ok {
+		return err
+	}
+	return nil
+}
+
 // run executes one task body with lattice-task accounting and panic
-// capture (first panic wins; Wait re-raises it).
+// capture (first panic wins; Wait re-raises it wrapped in *TaskPanic
+// with the task goroutine's stack). The recover sits in its own defer so
+// the lattice-active decrement — and, on the goroutine path in Go, the
+// worker-token release — always run, keeping a panicking task from
+// starving later groups of tokens or kernel shares.
 func (g *Group) run(body func()) {
 	latticeActive.Add(1)
 	defer latticeActive.Add(-1)
 	defer func() {
 		if r := recover(); r != nil {
-			g.panicOnce.Do(func() { g.panicked = r })
+			tp, ok := r.(*TaskPanic)
+			if !ok {
+				tp = &TaskPanic{Value: r, Stack: debug.Stack()}
+			}
+			g.panicOnce.Do(func() { g.panicked = tp })
 		}
 	}()
 	body()

@@ -1,6 +1,7 @@
 package pool
 
 import (
+	"strings"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -118,8 +119,19 @@ func TestGroupPanicPropagates(t *testing.T) {
 		})
 	}
 	defer func() {
-		if r := recover(); r != "boom" {
-			t.Fatalf("Wait recovered %v, want boom", r)
+		r := recover()
+		tp, ok := r.(*TaskPanic)
+		if !ok {
+			t.Fatalf("Wait recovered %T %v, want *TaskPanic", r, r)
+		}
+		if tp.Value != "boom" {
+			t.Fatalf("TaskPanic.Value = %v, want boom", tp.Value)
+		}
+		// The re-raised panic must carry the panicking task's stack, not
+		// the coordinator's: the frame of the task closure below is the
+		// evidence a debugger actually needs.
+		if !strings.Contains(string(tp.Stack), "TestGroupPanicPropagates") {
+			t.Fatalf("TaskPanic.Stack does not reference the task body:\n%s", tp.Stack)
 		}
 		if n := TokensInUse(); n != 0 {
 			t.Fatalf("tokens leaked after panic: %d", n)
@@ -127,6 +139,86 @@ func TestGroupPanicPropagates(t *testing.T) {
 	}()
 	g.Wait()
 	t.Fatal("Wait returned without panicking")
+}
+
+func TestGroupPanicInlinePathAlsoWrapped(t *testing.T) {
+	// With zero tokens free every Go runs inline on the caller; the panic
+	// unwinds through run's recover on the submitting goroutine and must
+	// still come back from Wait as a *TaskPanic with a stack.
+	defer SetWorkers(0)
+	SetWorkers(1)
+	release := make(chan struct{})
+	started := make(chan struct{})
+	holder := NewGroup("holder")
+	holder.Go(func() { close(started); <-release })
+	<-started
+
+	g := NewGroup("inline-panic")
+	func() {
+		defer func() {
+			if r := recover(); r != nil {
+				t.Fatalf("Go re-raised the inline panic instead of deferring it to Wait: %v", r)
+			}
+		}()
+		g.Go(func() { panic("inline-boom") })
+	}()
+	func() {
+		defer func() {
+			tp, ok := recover().(*TaskPanic)
+			if !ok || tp.Value != "inline-boom" {
+				t.Fatalf("Wait recovered %v, want TaskPanic{inline-boom}", tp)
+			}
+			if !strings.Contains(string(tp.Stack), "TestGroupPanicInlinePathAlsoWrapped") {
+				t.Fatalf("inline TaskPanic.Stack does not reference the task body:\n%s", tp.Stack)
+			}
+		}()
+		g.Wait()
+		t.Fatal("Wait returned without panicking")
+	}()
+	close(release)
+	holder.Wait()
+}
+
+func TestGroupPanicDoesNotStarveLaterGroups(t *testing.T) {
+	// A panicking lattice task must release its worker token and leave
+	// the lattice-active budget balanced, so subsequent task groups and
+	// kernel ForMax splits still get the full pool. Repeat to catch
+	// leaks that only starve after several failures.
+	defer SetWorkers(0)
+	SetWorkers(2)
+	for round := 0; round < 5; round++ {
+		func() {
+			defer func() { recover() }()
+			Tasks("failing", 4, func(i int) {
+				if i%2 == 1 {
+					panic(i)
+				}
+			})
+		}()
+		if n := TokensInUse(); n != 0 {
+			t.Fatalf("round %d: %d tokens leaked by panicking tasks", round, n)
+		}
+		if got := kernelShare(); got != 2 {
+			t.Fatalf("round %d: kernelShare = %d after panics, want 2", round, got)
+		}
+		// The pool must still execute fresh work to completion.
+		var count atomic.Int64
+		Tasks("after", 8, func(i int) { count.Add(1) })
+		if count.Load() != 8 {
+			t.Fatalf("round %d: follow-up group ran %d tasks, want 8", round, count.Load())
+		}
+		covered := make([]int32, 256)
+		ForMax(0, len(covered), 1, func(lo, hi int) {
+			for k := lo; k < hi; k++ {
+				atomic.AddInt32(&covered[k], 1)
+			}
+		})
+		for k, c := range covered {
+			if c != 1 {
+				t.Fatalf("round %d: ForMax covered index %d %d times", round, k, c)
+			}
+		}
+	}
 }
 
 func TestKernelShareUnderLatticeTasks(t *testing.T) {

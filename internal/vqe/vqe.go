@@ -10,7 +10,9 @@ import (
 	"math/rand"
 
 	"gokoala/internal/backend"
+	"gokoala/internal/checkpoint"
 	"gokoala/internal/einsumsvd"
+	"gokoala/internal/health"
 	"gokoala/internal/optimize"
 	"gokoala/internal/peps"
 	"gokoala/internal/quantum"
@@ -79,6 +81,26 @@ type Options struct {
 	Engine backend.Engine
 	// UseCache enables cached expectation evaluation.
 	UseCache bool
+
+	// CheckpointPath, when non-empty, writes a crash-safe checkpoint after
+	// every CheckpointEvery-th completed optimizer round (and after the
+	// last). Failed writes are counted in health.checkpoint_failures and
+	// the optimization continues.
+	CheckpointPath string
+	// CheckpointEvery is the round interval between checkpoints
+	// (default 1).
+	CheckpointEvery int
+	// From resumes from a loaded checkpoint: the best point, trace, and
+	// base seed come from the checkpoint (its seed overrides Seed), and
+	// optimization restarts at the next round. Because each objective
+	// evaluation is a pure function of (Seed, theta) and Nelder-Mead is
+	// deterministic, the resumed run is bit-identical to an uninterrupted
+	// one.
+	From *checkpoint.VQECheckpoint
+	// AfterRound, when non-nil, runs after each round's bookkeeping with
+	// the number of completed rounds. Crash-injection tests use it to kill
+	// the process mid-run.
+	AfterRound func(round int)
 }
 
 // Result reports the optimization outcome.
@@ -144,20 +166,39 @@ func Run(a Ansatz, obs *quantum.Observable, opts Options) Result {
 	if opts.Restarts <= 0 {
 		opts.Restarts = 6
 	}
+	if opts.CheckpointEvery <= 0 {
+		opts.CheckpointEvery = 1
+	}
+	start := 0
+	var out Result
+	if cp := opts.From; cp != nil {
+		opts.Seed = cp.Seed
+		start = cp.Round
+		out = Result{
+			EnergyPerSite: cp.Energy,
+			Theta:         append([]float64(nil), cp.Theta...),
+			History:       append([]float64(nil), cp.History...),
+			Evals:         cp.Evals,
+		}
+	}
 	objective := func(theta []float64) float64 {
 		if opts.Rank <= 0 {
 			return EnergyStateVector(a, obs, theta)
 		}
-		return EnergyPEPS(a, obs, theta, opts)
+		e := EnergyPEPS(a, obs, theta, opts)
+		health.CheckFloat("vqe.energy", e)
+		return e
 	}
-	rng := rand.New(rand.NewSource(opts.Seed))
-	x := make([]float64, a.NumParams())
-	for i := range x {
-		x[i] = 0.1 * (2*rng.Float64() - 1)
+	if opts.From == nil {
+		rng := rand.New(rand.NewSource(opts.Seed))
+		x := make([]float64, a.NumParams())
+		for i := range x {
+			x[i] = 0.1 * (2*rng.Float64() - 1)
+		}
+		out = Result{EnergyPerSite: objective(x), Theta: x}
+		out.Evals++
 	}
-	out := Result{EnergyPerSite: objective(x), Theta: x}
-	out.Evals++
-	for round := 0; round < opts.Restarts; round++ {
+	for round := start; round < opts.Restarts; round++ {
 		res := optimize.NelderMead(objective, out.Theta, optimize.Options{
 			MaxIter:     opts.MaxIter,
 			InitialStep: 0.5,
@@ -173,6 +214,22 @@ func Run(a Ansatz, obs *quantum.Observable, opts Options) Result {
 		if res.F <= out.EnergyPerSite {
 			out.EnergyPerSite = res.F
 			out.Theta = res.X
+		}
+		done := round + 1
+		if opts.CheckpointPath != "" && (done%opts.CheckpointEvery == 0 || done == opts.Restarts) {
+			// Failures are counted by WriteAtomic; the previous checkpoint
+			// stays valid and the optimization keeps going.
+			_ = checkpoint.SaveVQE(opts.CheckpointPath, &checkpoint.VQECheckpoint{
+				Round:   done,
+				Evals:   out.Evals,
+				Energy:  out.EnergyPerSite,
+				Theta:   out.Theta,
+				History: out.History,
+				Seed:    opts.Seed,
+			})
+		}
+		if opts.AfterRound != nil {
+			opts.AfterRound(done)
 		}
 	}
 	return out
