@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet check bench bench-smoke bench-sched bench-resume clean
+.PHONY: all build test race vet check bench bench-smoke bench-sched bench-resume bench-compare clean
 
 all: check
 
@@ -59,6 +59,24 @@ bench-resume:
 	grep '^step' $$tmp/full.txt > $$tmp/a; grep '^step' $$tmp/resume.txt > $$tmp/b; \
 	cmp $$tmp/a $$tmp/b; \
 	echo "bench-resume: resumed trace bit-identical to uninterrupted run"
+
+# Deterministic regression gate: rerun the fast evolution suites and
+# compare flops, comm bytes, modeled seconds, task counts, plan-cache
+# hit rate, and health counters against the committed BENCH_*.json
+# baselines (wall clock is reported, never gated — CI boxes are noisy).
+# Then inject a regression into a baseline copy and require the gate to
+# catch it, so the gate itself cannot rot silently. Writes the JSONL
+# trace of the gated run to bench-compare-trace.jsonl (uploaded as a CI
+# artifact) for koala-obs analysis.
+bench-compare:
+	@tmp=$$(mktemp -d); trap "rm -rf $$tmp" EXIT; set -e; \
+	$(GO) build -o $$tmp/koala-bench ./cmd/koala-bench; \
+	$$tmp/koala-bench -compare . -metrics bench-compare-trace.jsonl fig7a fig7b; \
+	sed -E 's/"flops": [0-9]+/"flops": 1/' BENCH_fig7a.json > $$tmp/BENCH_fig7a.json; \
+	status=0; $$tmp/koala-bench -compare $$tmp fig7a > $$tmp/inject.txt 2>&1 || status=$$?; \
+	if [ $$status -eq 0 ]; then \
+		echo "bench-compare: gate missed an injected flops regression"; exit 1; fi; \
+	echo "bench-compare: baselines pass, injected regression caught (exit $$status)"
 
 clean:
 	$(GO) clean ./...

@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	koala-bench [-full] [-workers n] [-trace file] [-metrics file] [-json dir] <experiment>...
+//	koala-bench [-full] [-workers n] [-trace file] [-metrics file] [-json dir] [-compare dir] <experiment>...
 //	koala-bench all
 //
 // Experiments: table2 fig7a fig7b fig8a fig8b fig9 fig10 fig11 fig12
@@ -13,9 +13,13 @@
 //
 // Observability (see DESIGN.md "Observability"):
 //
-//	-trace f    write a Chrome trace_event file (chrome://tracing, Perfetto)
-//	-metrics f  write a JSON-lines span/metrics log
-//	-json dir   write one BENCH_<suite>.json per experiment
+//	-trace f     write a Chrome trace_event file (chrome://tracing, Perfetto)
+//	-metrics f   write a JSON-lines span/metrics log
+//	-json dir    write one BENCH_<suite>.json per experiment
+//	-compare dir gate deterministic metrics against the BENCH_<suite>.json
+//	             baselines in dir (see internal/bench/compare.go for the
+//	             tolerances); exits nonzero on regression. Wall-clock is
+//	             reported but never gated.
 //
 // Any of the three enables span collection and appends a per-phase time
 // breakdown after each experiment's table.
@@ -31,6 +35,7 @@ import (
 
 	"gokoala/internal/bench"
 	"gokoala/internal/cliutil"
+	"gokoala/internal/dist"
 	"gokoala/internal/einsum"
 	"gokoala/internal/obs"
 	"gokoala/internal/pool"
@@ -42,6 +47,7 @@ func main() {
 	traceFile := flag.String("trace", "", "write a Chrome trace_event JSON file")
 	metricsFile := flag.String("metrics", "", "write a JSON-lines span/metrics log")
 	jsonDir := flag.String("json", "", "write BENCH_<suite>.json files into this directory")
+	compareDir := flag.String("compare", "", "gate each suite's deterministic metrics against the BENCH_<suite>.json baselines in this directory; exit nonzero on regression")
 	workers := cliutil.WorkersFlag()
 	scaling := flag.Bool("scaling", true, "with -json, rerun each suite at worker counts 1,2,4,... and record the scaling curve")
 	flag.Parse()
@@ -67,7 +73,7 @@ func main() {
 		}
 	}
 
-	observing := *traceFile != "" || *metricsFile != "" || *jsonDir != ""
+	observing := *traceFile != "" || *metricsFile != "" || *jsonDir != "" || *compareDir != ""
 	var closers []io.Closer
 	if observing {
 		var sinks []obs.Sink
@@ -91,6 +97,7 @@ func main() {
 	}
 
 	w := os.Stdout
+	regressions := 0
 	for i, name := range args {
 		if i > 0 {
 			fmt.Fprintf(w, "\n%s\n\n", divider)
@@ -104,6 +111,7 @@ func main() {
 		if observing {
 			obs.ResetCounters()
 			obs.ResetSummary()
+			dist.ResetTimelines()
 			// Fresh per-suite plan cache statistics (the few recompiles
 			// this forces are noise next to a suite's contraction count).
 			einsum.ResetPlanCache()
@@ -113,10 +121,30 @@ func main() {
 			res.WallSeconds = timeIt(func() { run(w) })
 		})
 		if observing {
+			// Emit per-rank model timelines of every grid this suite drove
+			// into the trace sinks before the summary snapshot.
+			dist.FlushTimelines()
 			bench.CollectSuiteMetrics(&res)
 			fmt.Fprintf(w, "\n-- %s phase breakdown --\n", name)
 			obs.WriteSummary(w)
 			obs.WriteMetrics(w)
+		}
+		if *compareDir != "" {
+			base, err := bench.ReadBenchJSON(*compareDir, name)
+			if err != nil {
+				fatal(err)
+			}
+			viols := bench.CompareSuite(base, res)
+			if len(viols) == 0 {
+				fmt.Fprintf(w, "\ncompare %s: PASS (wall %.2fs vs baseline %.2fs; wall is not gated)\n",
+					name, res.WallSeconds, base.WallSeconds)
+			} else {
+				fmt.Fprintf(w, "\ncompare %s: FAIL\n", name)
+				for _, v := range viols {
+					fmt.Fprintf(w, "  %s\n", v)
+				}
+				regressions += len(viols)
+			}
 		}
 		if *jsonDir != "" {
 			if *scaling {
@@ -146,6 +174,10 @@ func main() {
 				fatal(err)
 			}
 		}
+	}
+	if regressions > 0 {
+		fmt.Fprintf(os.Stderr, "koala-bench: %d metric regression(s) against %s\n", regressions, *compareDir)
+		os.Exit(1)
 	}
 }
 
@@ -308,6 +340,6 @@ func fatal(err error) {
 const divider = "================================================================"
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: koala-bench [-full] [-trace file] [-metrics file] [-json dir] <experiment>...
+	fmt.Fprintln(os.Stderr, `usage: koala-bench [-full] [-trace file] [-metrics file] [-json dir] [-compare dir] <experiment>...
 experiments: table2 fig7a fig7b fig8a fig8b fig9 fig10 fig11 fig12 fig13a fig13b fig14 ablation | all`)
 }

@@ -74,6 +74,21 @@ func (ie *Instrumented) annotate(sp *obs.Span, before dist.Stats) {
 	sp.SetInt("comm_bytes", d.Bytes)
 }
 
+// setFlops attributes the global flop-counter delta of the region to the
+// span, so offline analyzers can rank spans by flops. The counter is
+// process-global: when concurrent task spans overlap, each span's delta
+// includes flops other tasks charged meanwhile, so per-span flops are
+// attribution hints, not an exact partition (the einsum.gemm.flops
+// counter and the grid accounting stay exact).
+func setFlops(sp *obs.Span, before int64) {
+	if sp == nil {
+		return
+	}
+	if d := tensor.FlopCount() - before; d > 0 {
+		sp.SetInt("flops", d)
+	}
+}
+
 // obsHooks returns einsum hooks that count primitives and emit a child
 // span per batched GEMM. kernel is the multiply that actually runs
 // (the grid SPMD kernel for Dist, the sequential kernel for Dense).
@@ -104,6 +119,7 @@ func (ie *Instrumented) Einsum(spec string, ops ...*tensor.Dense) *tensor.Dense 
 	}
 	sp := obs.Start("einsum").SetStr("spec", spec)
 	before := ie.statsBefore()
+	flopsBefore := tensor.FlopCount()
 	obsContracts.Add(1)
 	var hooks einsum.Hooks
 	switch e := ie.inner.(type) {
@@ -118,6 +134,7 @@ func (ie *Instrumented) Einsum(spec string, ops ...*tensor.Dense) *tensor.Dense 
 		// Unknown engine: time the call but let it run its own path.
 		out := e.Einsum(spec, ops...)
 		ie.annotate(sp, before)
+		setFlops(sp, flopsBefore)
 		sp.End()
 		health.CheckTensor("backend.einsum", out)
 		return out
@@ -128,6 +145,7 @@ func (ie *Instrumented) Einsum(spec string, ops ...*tensor.Dense) *tensor.Dense 
 		panic("backend: " + err.Error())
 	}
 	ie.annotate(sp, before)
+	setFlops(sp, flopsBefore)
 	sp.End()
 	health.CheckTensor("backend.einsum", out)
 	return out
@@ -153,8 +171,10 @@ func (ie *Instrumented) QRSplit(t *tensor.Dense, leftAxes int) (*tensor.Dense, *
 	}
 	sp := obs.Start("backend.qrsplit")
 	before := ie.statsBefore()
+	flopsBefore := tensor.FlopCount()
 	q, r := ie.inner.QRSplit(t, leftAxes)
 	ie.annotate(sp, before)
+	setFlops(sp, flopsBefore)
 	sp.End()
 	checkFactorization("backend.qrsplit", q, r, nil)
 	return q, r
@@ -168,11 +188,13 @@ func (ie *Instrumented) TruncSVD(m *tensor.Dense, rank int) (*tensor.Dense, []fl
 	}
 	sp := obs.Start("backend.truncsvd")
 	before := ie.statsBefore()
+	flopsBefore := tensor.FlopCount()
 	u, s, v := ie.inner.TruncSVD(m, rank)
 	// Record the rank actually kept, not the requested cap (callers pass
 	// a huge sentinel for "exact"), so summary sums stay meaningful.
 	sp.SetInt("rank", int64(len(s)))
 	ie.annotate(sp, before)
+	setFlops(sp, flopsBefore)
 	sp.End()
 	checkFactorization("backend.truncsvd", u, v, s)
 	return u, s, v
@@ -186,8 +208,10 @@ func (ie *Instrumented) Orth(x *tensor.Dense) *tensor.Dense {
 	}
 	sp := obs.Start("backend.orth")
 	before := ie.statsBefore()
+	flopsBefore := tensor.FlopCount()
 	q := ie.inner.Orth(x)
 	ie.annotate(sp, before)
+	setFlops(sp, flopsBefore)
 	sp.End()
 	health.CheckTensor("backend.orth", q)
 	return q

@@ -3,6 +3,7 @@ package backend
 import (
 	"gokoala/internal/einsum"
 	"gokoala/internal/linalg"
+	"gokoala/internal/obs"
 	"gokoala/internal/pool"
 	"gokoala/internal/tensor"
 )
@@ -49,10 +50,14 @@ func (t *Threaded) Einsum(spec string, ops ...*tensor.Dense) *tensor.Dense {
 // batchMatMul multiplies [bt, m, k] x [bt, k, n], splitting the bt*m
 // output rows over the worker pool with at most t.Workers chunks. Rows
 // are multiplied in place into disjoint sub-slices of the shared output
-// — no per-call goroutines, no temporaries, no copies.
+// — no per-call goroutines, no temporaries, no copies. The output
+// buffer counts as obs-tracked scratch while the kernel fills it.
 func (t *Threaded) batchMatMul(a, b *tensor.Dense) *tensor.Dense {
 	bt, m, k := a.Dim(0), a.Dim(1), a.Dim(2)
 	n := b.Dim(2)
+	outBytes := int64(bt) * int64(m) * int64(n) * 16
+	obs.TrackBytes(outBytes)
+	defer obs.TrackBytes(-outBytes)
 	out := tensor.New(bt, m, n)
 	grain := int(65536/(int64(n)*int64(k))) + 1
 	pool.ForMax(t.Workers, bt*m, grain, func(lo, hi int) {

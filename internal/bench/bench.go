@@ -161,9 +161,9 @@ func denseEngine() backend.Engine { return backend.Instrument(backend.NewDense()
 // Cyclops-analog variants, each with its own grid so modeled costs are
 // attributable. All engines carry obs instrumentation.
 func engineSet(ranks int) (map[string]backend.Engine, map[string]*dist.Grid) {
-	g1 := dist.NewGrid(dist.Stampede2(ranks))
-	g2 := dist.NewGrid(dist.Stampede2(ranks))
-	g3 := dist.NewGrid(dist.Stampede2(ranks))
+	g1 := dist.NewGrid(dist.Stampede2(ranks)).SetLabel("dist-qr-svd")
+	g2 := dist.NewGrid(dist.Stampede2(ranks)).SetLabel("dist-local-gram-qr")
+	g3 := dist.NewGrid(dist.Stampede2(ranks)).SetLabel("dist-local-gram-qr-svd")
 	engines := map[string]backend.Engine{
 		"dense-qr-svd":           denseEngine(),
 		"dist-qr-svd":            backend.Instrument(backend.NewDist(g1, false)),

@@ -25,8 +25,11 @@ type SuiteResult struct {
 	WallSeconds float64 `json:"wall_seconds"`
 	// ModeledSeconds is the machine-model time accumulated by the
 	// simulated distributed runtime during the suite (computation plus
-	// communication), zero for dense-only suites.
-	ModeledSeconds float64 `json:"modeled_seconds"`
+	// communication), zero for dense-only suites. The Comp/Comm fields
+	// carry the split.
+	ModeledSeconds     float64 `json:"modeled_seconds"`
+	ModeledCompSeconds float64 `json:"modeled_comp_seconds"`
+	ModeledCommSeconds float64 `json:"modeled_comm_seconds"`
 	// Flops is the complex-flop count charged to the global tensor
 	// counter during the suite.
 	Flops int64 `json:"flops"`
@@ -53,6 +56,27 @@ type SuiteResult struct {
 	GroupTasks       int64   `json:"group_tasks"`
 	GroupInline      int64   `json:"group_inline"`
 	GroupWaitSeconds float64 `json:"group_wait_seconds"`
+	// TaskCount is the deterministic task-submission count
+	// (pool.task.count): every lattice task, whether it ran on its own
+	// goroutine or inline, unlike the scheduling-dependent split above.
+	TaskCount int64 `json:"task_count"`
+	// PeakBytes is the high-water mark of tracked scratch memory
+	// (einsum frame pools, threaded-kernel output staging) during the
+	// suite. Wall-clock-like: it depends on scheduling, so it is
+	// reported but never gated.
+	PeakBytes int64 `json:"peak_bytes"`
+	// Health records the numerical-health counters the suite tripped.
+	Health HealthCounters `json:"health"`
+}
+
+// HealthCounters is the per-suite snapshot of the numerical-health
+// counters (see internal/health); all zero on a clean run.
+type HealthCounters struct {
+	NaNDetected        int64 `json:"nan_detected"`
+	SVDFallbacks       int64 `json:"svd_fallbacks"`
+	GramFallbacks      int64 `json:"gram_fallbacks"`
+	Nonconverged       int64 `json:"nonconverged"`
+	CheckpointFailures int64 `json:"checkpoint_failures"`
 }
 
 // ScalingPoint is one entry of a worker-count scaling curve.
@@ -66,8 +90,9 @@ type ScalingPoint struct {
 // the current counter registry. Call it after the suite ran and before
 // obs.ResetCounters.
 func CollectSuiteMetrics(res *SuiteResult) {
-	res.ModeledSeconds = obs.MetricValueOf("dist.modeled.comm_seconds") +
-		obs.MetricValueOf("dist.modeled.comp_seconds")
+	res.ModeledCommSeconds = obs.MetricValueOf("dist.modeled.comm_seconds")
+	res.ModeledCompSeconds = obs.MetricValueOf("dist.modeled.comp_seconds")
+	res.ModeledSeconds = res.ModeledCommSeconds + res.ModeledCompSeconds
 	res.CommBytes = int64(obs.MetricValueOf("dist.comm.bytes"))
 	res.PlanCacheHits, res.PlanCacheMisses, _ = einsum.PlanCacheStats()
 	if total := res.PlanCacheHits + res.PlanCacheMisses; total > 0 {
@@ -77,6 +102,15 @@ func CollectSuiteMetrics(res *SuiteResult) {
 	res.GroupTasks = int64(obs.MetricValueOf("pool.group.tasks"))
 	res.GroupInline = int64(obs.MetricValueOf("pool.group.inline"))
 	res.GroupWaitSeconds = obs.MetricValueOf("pool.group.wait_seconds")
+	res.TaskCount = int64(obs.MetricValueOf("pool.task.count"))
+	res.PeakBytes = obs.PeakBytes()
+	res.Health = HealthCounters{
+		NaNDetected:        int64(obs.MetricValueOf("health.nan_detected")),
+		SVDFallbacks:       int64(obs.MetricValueOf("health.svd_fallbacks")),
+		GramFallbacks:      int64(obs.MetricValueOf("health.gram_fallbacks")),
+		Nonconverged:       int64(obs.MetricValueOf("health.nonconverged")),
+		CheckpointFailures: int64(obs.MetricValueOf("health.checkpoint_failures")),
+	}
 }
 
 // WriteBenchJSON writes res as dir/BENCH_<suite>.json (indented, with a

@@ -33,7 +33,7 @@ func DefaultFig11Config() Fig11Config {
 // runOnGrid executes work on a fresh grid of the given rank count and
 // returns the modeled seconds of the metered SPMD execution.
 func runOnGrid(ranks int, useGram bool, work func(eng backend.Engine)) dist.Stats {
-	grid := dist.NewGrid(dist.Stampede2(ranks))
+	grid := dist.NewGrid(dist.Stampede2(ranks)).SetLabel(fmt.Sprintf("ranks-%d", ranks))
 	eng := backend.Instrument(backend.NewDist(grid, useGram))
 	work(eng)
 	return grid.Snapshot()

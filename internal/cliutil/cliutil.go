@@ -11,6 +11,7 @@ import (
 	"io"
 	"os"
 
+	"gokoala/internal/dist"
 	"gokoala/internal/health"
 	"gokoala/internal/obs"
 	"gokoala/internal/pool"
@@ -173,6 +174,9 @@ func (c *ObsConfig) Finish(w io.Writer) error {
 	if !c.on {
 		return nil
 	}
+	// Per-rank machine-model timelines of every grid the run drove land
+	// in the sinks next to the span records.
+	dist.FlushTimelines()
 	if w != nil {
 		fmt.Fprintln(w, "\n-- phase breakdown --")
 		obs.WriteSummary(w)

@@ -36,6 +36,11 @@ type Grid struct {
 	parFlops    int64
 	seqFlops    int64
 	redistCount int64
+
+	// Per-rank timeline accounts and the label naming this grid in
+	// emitted rank records; see timeline.go.
+	ranks []rankAcct
+	label string
 }
 
 // picos converts modeled seconds to the integer picoseconds the
@@ -46,12 +51,16 @@ func picos(secs float64) int64 { return int64(math.Round(secs * 1e12)) }
 
 func secs(ps int64) float64 { return float64(ps) / 1e12 }
 
-// NewGrid returns a grid for the given machine model.
+// NewGrid returns a grid for the given machine model. While obs
+// collection is enabled the grid also registers for end-of-run rank
+// timeline emission (see FlushTimelines).
 func NewGrid(m Machine) *Grid {
 	if m.Ranks < 1 {
 		m.Ranks = 1
 	}
-	return &Grid{Machine: m}
+	g := &Grid{Machine: m}
+	registerGrid(g)
+	return g
 }
 
 // Stats is a snapshot of a grid's accounting. Subtract two snapshots with
@@ -103,12 +112,13 @@ func (s Stats) Sub(prev Stats) Stats {
 // kernel achieves when it was recorded).
 func (s Stats) ModeledSeconds() float64 { return s.CommSeconds() + s.CompSeconds }
 
-// Reset zeroes all counters.
+// Reset zeroes all counters, including the per-rank timelines.
 func (g *Grid) Reset() {
 	g.mu.Lock()
 	defer g.mu.Unlock()
 	g.msgs, g.bytes, g.parFlops, g.seqFlops, g.redistCount = 0, 0, 0, 0, 0
 	g.commLatPs, g.bwGemmPs, g.bwBigPs, g.bwSmallPs, g.compPs = 0, 0, 0, 0, 0
+	g.ranks = nil
 }
 
 // Snapshot returns the current counters.
@@ -143,6 +153,7 @@ func (g *Grid) addComm(msgs int64, bytes int64, latSecs, bwSecs float64, class b
 	default:
 		g.bwSmallPs += bwPs
 	}
+	g.rankComm(latPs, bwPs)
 	g.mu.Unlock()
 	observeComm(msgs, bytes, latSecs+bwSecs)
 }
@@ -232,6 +243,7 @@ func (g *Grid) ChargeFlops(n int64, eff int) {
 		g.parFlops += n
 	}
 	g.compPs += p
+	g.rankComp(p, eff)
 	g.mu.Unlock()
 	observeComp(s)
 }

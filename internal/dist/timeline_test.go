@@ -1,0 +1,174 @@
+package dist
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"testing"
+
+	"gokoala/internal/obs"
+	"gokoala/internal/tensor"
+)
+
+// driveGrid runs a fixed metered workload: a matmul (parallel compute +
+// collectives) and a Gram sequence (partial-parallel compute, so some
+// ranks accrue imbalance wait).
+func driveGrid(g *Grid) {
+	rng := rand.New(rand.NewSource(9))
+	a := tensor.Rand(rng, 24, 12)
+	b := tensor.Rand(rng, 12, 8)
+	g.MatMul(a, b)
+	g.GramMatrix(a)
+	// A rank-0-only phase (the local factorization of the Gram method),
+	// so ranks past 0 accrue imbalance wait.
+	g.ChargeFlops(1_000_000, 1)
+}
+
+// The model is bulk-synchronous: every rank's timeline covers the same
+// modeled wall clock, so each rank's total must equal ModeledSeconds.
+func TestRankTotalsEqualModeledSeconds(t *testing.T) {
+	g := NewGrid(Stampede2(8))
+	driveGrid(g)
+	want := g.Snapshot().ModeledSeconds()
+	if want <= 0 {
+		t.Fatal("workload accrued no modeled time")
+	}
+	tls := g.RankTimelines()
+	if len(tls) != 8 {
+		t.Fatalf("want 8 rank records, got %d", len(tls))
+	}
+	var sawWait bool
+	for _, r := range tls {
+		if got := r.TotalSeconds(); math.Abs(got-want) > 1e-12*want {
+			t.Fatalf("rank %d total %.15g != modeled %.15g", r.Rank, got, want)
+		}
+		if r.WaitSeconds > 0 {
+			sawWait = true
+		}
+	}
+	if !sawWait {
+		t.Fatal("partial-parallel Gram phase should park some ranks in wait")
+	}
+	// Rank 0 computes in every phase; it must never wait more than the
+	// others and must carry the most compute.
+	for _, r := range tls[1:] {
+		if r.CompSeconds > tls[0].CompSeconds {
+			t.Fatalf("rank %d compute %.3g exceeds rank 0's %.3g", r.Rank, r.CompSeconds, tls[0].CompSeconds)
+		}
+		if r.WaitSeconds < tls[0].WaitSeconds {
+			t.Fatalf("rank %d waits %.3g, less than rank 0's %.3g", r.Rank, r.WaitSeconds, tls[0].WaitSeconds)
+		}
+	}
+}
+
+// Rank timeline totals are integer-picosecond accumulations, so two
+// identical workloads must agree bit for bit.
+func TestRankTimelinesDeterministic(t *testing.T) {
+	run := func() []obs.RankRecord {
+		g := NewGrid(Stampede2(16))
+		driveGrid(g)
+		return g.RankTimelines()
+	}
+	a, b := run(), run()
+	for i := range a {
+		ra, rb := a[i], b[i]
+		if ra.Grid != rb.Grid || ra.Rank != rb.Rank ||
+			ra.CompSeconds != rb.CompSeconds || ra.LatSeconds != rb.LatSeconds ||
+			ra.BWSeconds != rb.BWSeconds || ra.WaitSeconds != rb.WaitSeconds {
+			t.Fatalf("rank %d differs across identical runs:\n%+v\n%+v", i, ra, rb)
+		}
+	}
+}
+
+// Segments are only collected while obs is enabled, coalesce repeats,
+// and cap out with the truncated flag while totals stay exact.
+func TestRankSegmentsGatedAndCoalesced(t *testing.T) {
+	g := NewGrid(Stampede2(2))
+	driveGrid(g)
+	if tls := g.RankTimelines(); len(tls[0].Segments) != 0 {
+		t.Fatal("segments collected while obs disabled")
+	}
+
+	obs.Enable()
+	defer func() {
+		obs.Disable()
+		obs.ResetCounters()
+	}()
+	g2 := NewGrid(Stampede2(2))
+	driveGrid(g2)
+	tls := g2.RankTimelines()
+	segs := tls[0].Segments
+	if len(segs) == 0 {
+		t.Fatal("no segments collected while obs enabled")
+	}
+	var sum float64
+	for i, s := range segs {
+		sum += s.Seconds
+		if i > 0 && segs[i-1].Kind == s.Kind {
+			t.Fatalf("segments %d and %d not coalesced (both %q)", i-1, i, s.Kind)
+		}
+	}
+	if total := tls[0].TotalSeconds(); math.Abs(sum-total) > 1e-12 {
+		t.Fatalf("segment sum %.15g != totals %.15g", sum, total)
+	}
+
+	// Push one rank past the cap: totals keep counting, details stop.
+	g3 := NewGrid(Stampede2(1))
+	for i := 0; i < 3*maxRankSegments; i++ {
+		kind := uint8(i % numSegKinds)
+		g3.mu.Lock()
+		g3.ensureRanks()
+		g3.ranks[0].add(kind, 1000, true)
+		g3.mu.Unlock()
+	}
+	g3.mu.Lock()
+	r := &g3.ranks[0]
+	if len(r.segs) > maxRankSegments {
+		t.Fatalf("segment list grew past cap: %d", len(r.segs))
+	}
+	if !r.truncated {
+		t.Fatal("truncated flag not set past the cap")
+	}
+	var totalPs int64
+	for _, ps := range r.ps {
+		totalPs += ps
+	}
+	g3.mu.Unlock()
+	if totalPs != int64(3*maxRankSegments)*1000 {
+		t.Fatalf("totals lost updates past the cap: %d", totalPs)
+	}
+}
+
+// FlushTimelines emits every driven grid registered since the last
+// reset into the sinks, skipping idle grids.
+func TestFlushTimelinesEmission(t *testing.T) {
+	var buf bytes.Buffer
+	obs.Enable(obs.NewJSONLSink(&buf))
+	defer func() {
+		obs.Disable()
+		obs.ResetCounters()
+	}()
+	ResetTimelines()
+
+	driven := NewGrid(Stampede2(4)).SetLabel("driven")
+	idle := NewGrid(Stampede2(4)).SetLabel("idle")
+	_ = idle
+	driveGrid(driven)
+
+	n := FlushTimelines()
+	if n != 4 {
+		t.Fatalf("want 4 rank records emitted (driven grid only), got %d", n)
+	}
+	out := buf.String()
+	if !bytes.Contains([]byte(out), []byte(`"grid":"driven"`)) {
+		t.Fatalf("JSONL missing driven grid records: %s", out)
+	}
+	if bytes.Contains([]byte(out), []byte(`"grid":"idle"`)) {
+		t.Fatal("idle grid must not be emitted")
+	}
+
+	ResetTimelines()
+	if n := FlushTimelines(); n != 0 {
+		t.Fatalf("registry not cleared: %d records after reset", n)
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"strings"
 	"sync"
 
+	"gokoala/internal/obs"
 	"gokoala/internal/tensor"
 )
 
@@ -79,7 +80,15 @@ type Plan struct {
 	// allocates no intermediate storage and creates no garbage beyond the
 	// result itself.
 	scratch sync.Pool
+	// frameBytes is the byte size of one scratch frame (all intermediate
+	// buffers) and outBytes the size of the escaping result buffer; both
+	// feed the obs live/peak scratch-memory account per execution.
+	frameBytes int64
+	outBytes   int64
 }
+
+// bytesPerElem is the storage size of one complex128 tensor element.
+const bytesPerElem = 16
 
 // Compile resolves spec against the given operand shapes and returns the
 // reusable contraction plan. The result is identical, op for op, to what
@@ -431,6 +440,11 @@ func (p *Plan) initScratch() {
 			op.bShape = []int{op.batch, op.k, op.n}
 			op.cShape = []int{op.batch, op.m, op.n}
 		}
+		if op.dst != p.out {
+			p.frameBytes += int64(op.size) * bytesPerElem
+		} else {
+			p.outBytes = int64(op.size) * bytesPerElem
+		}
 	}
 	ops := p.ops
 	out := p.out
@@ -474,6 +488,11 @@ func (p *Plan) execute(ops []*tensor.Dense, h Hooks) (*tensor.Dense, error) {
 	}
 	vals := make([]*tensor.Dense, p.nSlots)
 	copy(vals, ops)
+	// Working-set accounting: the checked-out scratch frame plus the
+	// result under construction count as live until the frame returns to
+	// the pool (the result's share is released then too — past that
+	// point it is the caller's tensor, not executor scratch).
+	obs.TrackBytes(p.frameBytes + p.outBytes)
 	fr := p.scratch.Get().(*frame)
 	for i := range p.ops {
 		op := &p.ops[i]
@@ -541,6 +560,7 @@ func (p *Plan) execute(ops []*tensor.Dense, h Hooks) (*tensor.Dense, error) {
 	}
 	out := vals[p.out]
 	p.scratch.Put(fr)
+	obs.TrackBytes(-(p.frameBytes + p.outBytes))
 	if h.OnContract != nil {
 		h.OnContract(p.spec, p.cost)
 	}

@@ -151,6 +151,13 @@ func Metrics() []MetricValue {
 			out = append(out, MetricValue{Name: g.name, Value: v, Kind: "gauge"})
 		}
 	}
+	// Scratch-memory account (see mem.go): reported as gauges when the
+	// run tracked any scratch at all.
+	if p := PeakBytes(); p > 0 {
+		out = append(out,
+			MetricValue{Name: "mem.live_bytes", Value: float64(LiveBytes()), Kind: "gauge"},
+			MetricValue{Name: "mem.peak_bytes", Value: float64(p), Kind: "gauge"})
+	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
 	return out
 }
@@ -181,4 +188,5 @@ func ResetCounters() {
 		g.bits.Store(0)
 		g.set.Store(false)
 	}
+	resetPeakBytes()
 }

@@ -1,0 +1,55 @@
+package obs
+
+import "sync/atomic"
+
+// Scratch-memory accounting: the tensor frame pool and the kernel
+// executors report checkout/return of their working buffers through
+// TrackBytes, giving a live-bytes gauge and a high-water mark
+// (mem.live_bytes / mem.peak_bytes in metrics snapshots, "peak scratch
+// bytes" in WriteSummary, peak_bytes in koala-bench -json).
+//
+// The account is always on — a pair of atomic ops per frame checkout,
+// orders of magnitude below the work a frame carries — so checkouts and
+// returns stay balanced across Enable/Disable boundaries. Enable (via
+// ResetCounters) rebases the peak to the current live level, so each
+// run reports its own high water. Peak depends on how many frames are
+// in flight at once and is therefore wall-clock-like: it varies with
+// worker count and must not be diffed or gated.
+
+var (
+	memLive atomic.Int64
+	memPeak atomic.Int64
+)
+
+// TrackBytes adjusts the live scratch-byte account by delta (positive on
+// checkout/allocation, negative on return) and advances the high-water
+// mark.
+func TrackBytes(delta int64) {
+	live := memLive.Add(delta)
+	if delta <= 0 {
+		return
+	}
+	for {
+		peak := memPeak.Load()
+		if live <= peak || memPeak.CompareAndSwap(peak, live) {
+			return
+		}
+	}
+}
+
+// LiveBytes returns the bytes of tracked scratch currently checked out.
+func LiveBytes() int64 { return memLive.Load() }
+
+// PeakBytes returns the high-water mark of tracked scratch bytes since
+// the last Enable/ResetCounters.
+func PeakBytes() int64 { return memPeak.Load() }
+
+// resetPeakBytes rebases the high-water mark to the current live level;
+// called from ResetCounters so each enabled run starts fresh.
+func resetPeakBytes() {
+	live := memLive.Load()
+	if live < 0 {
+		live = 0
+	}
+	memPeak.Store(live)
+}

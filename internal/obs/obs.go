@@ -11,19 +11,22 @@
 // their atomic add. Enabling installs zero or more sinks:
 //
 //   - JSONLSink: one JSON object per completed span, plus a final
-//     counters record; machine-readable event log.
+//     counters record; machine-readable event log (the input format of
+//     cmd/koala-obs).
 //   - ChromeTraceSink: Chrome trace_event JSON loadable in
 //     chrome://tracing or https://ui.perfetto.dev.
 //   - the built-in phase summary (always collected while enabled),
 //     printed with WriteSummary.
 //
-// Span hierarchy follows the library's execution model: the public APIs
-// of the tensor-network layer are driven from a single orchestrating
-// goroutine (see dist.Grid), so spans nest on a simple stack. Counters
-// are fully concurrent (rank goroutines increment them); only span
-// Start/End assume the orchestrating goroutine. Spans started from other
-// goroutines are still safe (a mutex guards the stack) but may attach to
-// a surprising parent.
+// Span hierarchy is explicit: every span records its parent handle, and
+// parents are resolved per goroutine. Start nests under the innermost
+// span open on the *calling* goroutine; code that fans work out to other
+// goroutines either passes a handle and calls StartChild, or binds a
+// span to the worker goroutine with Adopt so the legacy Start path nests
+// correctly inside the task body (this is what pool.Group and the kernel
+// dispatch loops do). A goroutine with no open span and no adopted span
+// attaches to the trace root — never to another goroutine's stack — so
+// concurrent spans can no longer land under a racing, surprising parent.
 package obs
 
 import (
@@ -41,23 +44,35 @@ var enabled atomic.Bool
 // Enabled reports whether tracing/metrics collection is on.
 func Enabled() bool { return enabled.Load() }
 
+// nextSpanID hands out span ids, unique within a process run. Ids exist
+// so offline analyzers (cmd/koala-obs) can rebuild the span tree from a
+// JSONL log; they are assigned in start order and are therefore not
+// deterministic across worker counts — analyzers must not diff them.
+var nextSpanID atomic.Int64
+
 // tracer is the package-global collector state behind the mutex.
+type goStackMap map[uint64][]*Span
+
 var tracer struct {
-	mu      sync.Mutex
-	stack   []*Span // active spans, innermost last
-	sinks   []Sink
-	summary map[string]*phaseAgg
-	origin  time.Time // trace epoch for relative timestamps
+	mu sync.Mutex
+	// goStacks holds the per-goroutine stacks of open spans: Start
+	// pushes onto the calling goroutine's stack, Adopt binds a span to a
+	// worker goroutine's stack. Entries are removed when a stack drains
+	// so the map does not grow with goroutine churn.
+	goStacks goStackMap
+	sinks    []Sink
+	summary  map[string]*phaseAgg
+	origin   time.Time // trace epoch for relative timestamps
 }
 
 // Enable turns collection on, installing the given sinks (zero sinks is
 // valid: counters and the phase summary are still collected). It resets
-// all counters, the summary, and the span stack, so a run's totals start
-// from zero.
+// all counters, the summary, and the span stacks, so a run's totals
+// start from zero.
 func Enable(sinks ...Sink) {
 	tracer.mu.Lock()
 	tracer.sinks = append([]Sink(nil), sinks...)
-	tracer.stack = nil
+	tracer.goStacks = make(goStackMap)
 	tracer.summary = make(map[string]*phaseAgg)
 	tracer.origin = time.Now()
 	tracer.mu.Unlock()
@@ -72,7 +87,7 @@ func Disable() error {
 	tracer.mu.Lock()
 	sinks := tracer.sinks
 	tracer.sinks = nil
-	tracer.stack = nil
+	tracer.goStacks = nil
 	tracer.mu.Unlock()
 	var first error
 	for _, s := range sinks {
@@ -96,30 +111,114 @@ type Attr struct {
 
 // Span is one timed region. A nil *Span (what Start returns while
 // disabled) is valid: every method is a no-op.
+//
+// A span is owned by the goroutine that starts it until End; the
+// attribute setters are not synchronized. The one cross-goroutine field,
+// childDur, is only touched under the tracer mutex in End.
 type Span struct {
 	name     string
 	start    time.Time
 	parent   *Span
 	depth    int
+	id       int64
+	track    int
 	attrs    []Attr
 	childDur time.Duration
+	// onStack/gid record which goroutine stack (if any) the span sits
+	// on, so End can pop it. Spans created with StartChild are off-stack
+	// until Adopt binds them to their executing goroutine.
+	onStack bool
+	gid     uint64
 }
 
-// Start opens a span nested under the innermost open span. While
-// disabled it returns nil without allocating.
+// newSpan allocates a span under parent (nil = trace root).
+func newSpan(name string, parent *Span) *Span {
+	s := &Span{name: name, start: time.Now(), parent: parent, id: nextSpanID.Add(1)}
+	if parent != nil {
+		s.depth = parent.depth + 1
+		s.track = parent.track
+	}
+	return s
+}
+
+// Start opens a span nested under the innermost span open on the calling
+// goroutine. On a goroutine with no open or adopted span the new span
+// attaches to the trace root. While disabled it returns nil without
+// allocating.
 func Start(name string) *Span {
 	if !enabled.Load() {
 		return nil
 	}
-	s := &Span{name: name, start: time.Now()}
+	gid := curGoID()
 	tracer.mu.Lock()
-	if n := len(tracer.stack); n > 0 {
-		s.parent = tracer.stack[n-1]
-		s.depth = s.parent.depth + 1
+	var parent *Span
+	if st := tracer.goStacks[gid]; len(st) > 0 {
+		parent = st[len(st)-1]
 	}
-	tracer.stack = append(tracer.stack, s)
+	s := newSpan(name, parent)
+	s.onStack, s.gid = true, gid
+	if tracer.goStacks != nil {
+		tracer.goStacks[gid] = append(tracer.goStacks[gid], s)
+	}
 	tracer.mu.Unlock()
 	pprofPush(name)
+	return s
+}
+
+// StartChild opens a span explicitly parented under s, from any
+// goroutine — the handle-passing form task schedulers use to attribute
+// work running on worker goroutines to the group that spawned it. The
+// child is not bound to any goroutine stack; call Adopt to make legacy
+// Start calls inside the task body nest under it. Returns nil on a nil
+// receiver or while disabled.
+func (s *Span) StartChild(name string) *Span {
+	if s == nil || !enabled.Load() {
+		return nil
+	}
+	return newSpan(name, s)
+}
+
+// Adopt binds the span to the calling goroutine as its innermost open
+// span, so Start calls made by this goroutine (and kernels it invokes)
+// nest under it. End unbinds. Typically called by a task runner right
+// after StartChild, on the goroutine that will execute the task body.
+func (s *Span) Adopt() {
+	if s == nil || !enabled.Load() {
+		return
+	}
+	gid := curGoID()
+	tracer.mu.Lock()
+	if tracer.goStacks != nil {
+		s.onStack, s.gid = true, gid
+		tracer.goStacks[gid] = append(tracer.goStacks[gid], s)
+	}
+	tracer.mu.Unlock()
+}
+
+// Current returns the innermost span open on the calling goroutine, or
+// nil if there is none (or collection is disabled). Kernel dispatchers
+// use it to pick up the span handle to parent worker-side chunks under.
+func Current() *Span {
+	if !enabled.Load() {
+		return nil
+	}
+	gid := curGoID()
+	tracer.mu.Lock()
+	defer tracer.mu.Unlock()
+	if st := tracer.goStacks[gid]; len(st) > 0 {
+		return st[len(st)-1]
+	}
+	return nil
+}
+
+// SetTrack assigns the span (and, by inheritance, its future children)
+// to a display track: 0 is the orchestrator, positive values are worker
+// or rank lanes. Tracks map to Chrome trace tids.
+func (s *Span) SetTrack(t int) *Span {
+	if s == nil {
+		return nil
+	}
+	s.track = t
 	return s
 }
 
@@ -155,12 +254,16 @@ func (s *Span) SetInt(key string, v int64) *Span {
 }
 
 // Event is a completed span as delivered to sinks. Offset is relative to
-// the Enable call so traces start at t=0.
+// the Enable call so traces start at t=0. ID/Parent let offline readers
+// rebuild the tree (Parent 0 = trace root); Track is the display lane.
 type Event struct {
 	Name   string
 	Offset time.Duration
 	Dur    time.Duration
 	Depth  int
+	ID     int64
+	Parent int64
+	Track  int
 	Attrs  []Attr
 }
 
@@ -176,13 +279,23 @@ func (s *Span) End() {
 		return
 	}
 	tracer.mu.Lock()
-	// Pop s from the stack; tolerate out-of-order ends by searching from
-	// the top (children ended late are simply removed where found).
-	for i := len(tracer.stack) - 1; i >= 0; i-- {
-		if tracer.stack[i] == s {
-			tracer.stack = append(tracer.stack[:i], tracer.stack[i+1:]...)
-			break
+	if s.onStack {
+		// Pop s from its goroutine's stack; tolerate out-of-order ends
+		// by searching from the top (children ended late are simply
+		// removed where found).
+		st := tracer.goStacks[s.gid]
+		for i := len(st) - 1; i >= 0; i-- {
+			if st[i] == s {
+				st = append(st[:i], st[i+1:]...)
+				break
+			}
 		}
+		if len(st) == 0 {
+			delete(tracer.goStacks, s.gid)
+		} else {
+			tracer.goStacks[s.gid] = st
+		}
+		s.onStack = false
 	}
 	if s.parent != nil {
 		s.parent.childDur += dur
@@ -207,11 +320,18 @@ func (s *Span) End() {
 			agg.attrs[a.Key] += float64(a.Int)
 		}
 	}
+	var parentID int64
+	if s.parent != nil {
+		parentID = s.parent.id
+	}
 	ev := Event{
 		Name:   s.name,
 		Offset: s.start.Sub(tracer.origin),
 		Dur:    dur,
 		Depth:  s.depth,
+		ID:     s.id,
+		Parent: parentID,
+		Track:  s.track,
 		Attrs:  s.attrs,
 	}
 	sinks := tracer.sinks

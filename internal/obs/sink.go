@@ -17,6 +17,53 @@ type Sink interface {
 	Flush() error
 }
 
+// RankSegment is one coalesced stretch of a modeled rank's timeline:
+// compute, message latency, byte transfer, or imbalance wait.
+type RankSegment struct {
+	Kind    string  `json:"kind"`
+	Seconds float64 `json:"s"`
+}
+
+// RankRecord is the per-rank timeline snapshot a simulated grid emits
+// (see dist.Grid.RankTimelines): the modeled time of one rank split by
+// where it went, plus the (optionally truncated) segment sequence.
+type RankRecord struct {
+	Grid        string        `json:"grid"`
+	Rank        int           `json:"rank"`
+	CompSeconds float64       `json:"comp_s"`
+	LatSeconds  float64       `json:"lat_s"`
+	BWSeconds   float64       `json:"bw_s"`
+	WaitSeconds float64       `json:"wait_s"`
+	Segments    []RankSegment `json:"segments,omitempty"`
+}
+
+// TotalSeconds is the rank's full modeled timeline span.
+func (r RankRecord) TotalSeconds() float64 {
+	return r.CompSeconds + r.LatSeconds + r.BWSeconds + r.WaitSeconds
+}
+
+// RankSink is the optional sink extension that receives per-rank
+// timelines; both built-in sinks implement it.
+type RankSink interface {
+	RankTimeline(RankRecord)
+}
+
+// EmitRank forwards a rank-timeline record to every installed sink that
+// understands it. No-op while disabled.
+func EmitRank(rec RankRecord) {
+	if !enabled.Load() {
+		return
+	}
+	tracer.mu.Lock()
+	sinks := append([]Sink(nil), tracer.sinks...)
+	tracer.mu.Unlock()
+	for _, s := range sinks {
+		if rs, ok := s.(RankSink); ok {
+			rs.RankTimeline(rec)
+		}
+	}
+}
+
 // attrMap converts span attributes to a JSON-friendly map.
 func attrMap(attrs []Attr) map[string]interface{} {
 	if len(attrs) == 0 {
@@ -37,10 +84,12 @@ func attrMap(attrs []Attr) map[string]interface{} {
 }
 
 // JSONLSink writes one JSON object per completed span to w, immediately,
-// in end order: {"type":"span","name":...,"offset_us":...,"dur_us":...,
-// "depth":...,"attrs":{...}}. Flush appends a {"type":"metrics"} record
-// with the current counter snapshot, so a finished log carries the run's
-// totals.
+// in end order: {"type":"span","name":...,"id":...,"parent":...,
+// "offset_us":...,"dur_us":...,"depth":...,"track":...,"attrs":{...}}.
+// Rank timelines append {"type":"rank"} records, and Flush appends a
+// {"type":"metrics"} record with the current counter snapshot, so a
+// finished log carries the run's totals. This is the format
+// cmd/koala-obs (internal/obsfile) reads back.
 type JSONLSink struct {
 	mu  sync.Mutex
 	w   io.Writer
@@ -53,25 +102,19 @@ func NewJSONLSink(w io.Writer) *JSONLSink { return &JSONLSink{w: w} }
 type jsonlSpan struct {
 	Type     string                 `json:"type"`
 	Name     string                 `json:"name"`
+	ID       int64                  `json:"id"`
+	Parent   int64                  `json:"parent,omitempty"`
 	OffsetUS float64                `json:"offset_us"`
 	DurUS    float64                `json:"dur_us"`
 	Depth    int                    `json:"depth"`
+	Track    int                    `json:"track,omitempty"`
 	Attrs    map[string]interface{} `json:"attrs,omitempty"`
 }
 
-func (s *JSONLSink) SpanEnd(e Event) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+// writeRecord marshals and writes one JSONL record under the lock.
+func (s *JSONLSink) writeRecord(rec interface{}) {
 	if s.err != nil {
 		return
-	}
-	rec := jsonlSpan{
-		Type:     "span",
-		Name:     e.Name,
-		OffsetUS: float64(e.Offset.Nanoseconds()) / 1e3,
-		DurUS:    float64(e.Dur.Nanoseconds()) / 1e3,
-		Depth:    e.Depth,
-		Attrs:    attrMap(e.Attrs),
 	}
 	b, err := json.Marshal(rec)
 	if err != nil {
@@ -79,6 +122,38 @@ func (s *JSONLSink) SpanEnd(e Event) {
 		return
 	}
 	_, s.err = fmt.Fprintf(s.w, "%s\n", b)
+}
+
+func (s *JSONLSink) SpanEnd(e Event) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.writeRecord(jsonlSpan{
+		Type:     "span",
+		Name:     e.Name,
+		ID:       e.ID,
+		Parent:   e.Parent,
+		OffsetUS: float64(e.Offset.Nanoseconds()) / 1e3,
+		DurUS:    float64(e.Dur.Nanoseconds()) / 1e3,
+		Depth:    e.Depth,
+		Track:    e.Track,
+		Attrs:    attrMap(e.Attrs),
+	})
+}
+
+// RankTimeline appends one {"type":"rank"} record. The segment list is
+// omitted: segments exist to draw per-rank lanes in the Chrome trace,
+// while JSONL consumers (koala-obs report/diff, the regression gate)
+// work from the exact totals — and a bench run flushes thousands of
+// rank records, which at up to 2048 segments each would balloon the
+// log by orders of magnitude.
+func (s *JSONLSink) RankTimeline(rec RankRecord) {
+	rec.Segments = nil
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.writeRecord(struct {
+		Type string `json:"type"`
+		RankRecord
+	}{"rank", rec})
 }
 
 // Flush appends the metrics record and returns any accumulated error.
@@ -92,27 +167,26 @@ func (s *JSONLSink) Flush() error {
 	for _, m := range Metrics() {
 		metrics[m.Name] = m.Value
 	}
-	rec := struct {
+	s.writeRecord(struct {
 		Type    string             `json:"type"`
 		Metrics map[string]float64 `json:"metrics"`
-	}{"metrics", metrics}
-	b, err := json.Marshal(rec)
-	if err != nil {
-		return err
-	}
-	_, err = fmt.Fprintf(s.w, "%s\n", b)
-	return err
+	}{"metrics", metrics})
+	return s.err
 }
 
 // ChromeTraceSink buffers completed spans and serializes them on Flush
 // as Chrome trace_event JSON (the "JSON Array Format"): complete ("X")
 // events with microsecond timestamps, loadable in chrome://tracing or
-// https://ui.perfetto.dev. Counter totals are appended as a final
-// counter ("C") event so they are visible in the trace too.
+// https://ui.perfetto.dev. Measured spans land on pid 1, one tid per
+// track (orchestrator = tid 1, worker lanes above it); per-rank modeled
+// timelines land on pid 2+ (one process per grid, one tid per rank), so
+// the modeled machine appears as its own process next to the measured
+// one. Counter totals are appended as a final counter ("C") event.
 type ChromeTraceSink struct {
 	mu     sync.Mutex
 	w      io.Writer
 	events []Event
+	ranks  []RankRecord
 }
 
 // NewChromeTraceSink returns a trace_event sink writing to w on Flush.
@@ -121,6 +195,13 @@ func NewChromeTraceSink(w io.Writer) *ChromeTraceSink { return &ChromeTraceSink{
 func (s *ChromeTraceSink) SpanEnd(e Event) {
 	s.mu.Lock()
 	s.events = append(s.events, e)
+	s.mu.Unlock()
+}
+
+// RankTimeline buffers one rank's modeled timeline for Flush.
+func (s *ChromeTraceSink) RankTimeline(rec RankRecord) {
+	s.mu.Lock()
+	s.ranks = append(s.ranks, rec)
 	s.mu.Unlock()
 }
 
@@ -154,9 +235,36 @@ func (s *ChromeTraceSink) Flush() error {
 			TS:   ts,
 			Dur:  dur,
 			PID:  1,
-			TID:  1,
+			TID:  1 + e.Track,
 			Args: attrMap(e.Attrs),
 		})
+	}
+	// Per-rank modeled timelines: one process per grid, one thread per
+	// rank, segments laid out from the trace origin in modeled time.
+	gridPID := map[string]int{}
+	for _, r := range s.ranks {
+		pid, ok := gridPID[r.Grid]
+		if !ok {
+			pid = 2 + len(gridPID)
+			gridPID[r.Grid] = pid
+			evs = append(evs, chromeEvent{
+				Name: "process_name", Ph: "M", PID: pid, TID: 0,
+				Args: map[string]interface{}{"name": "modeled " + r.Grid},
+			})
+		}
+		cursor := 0.0
+		for _, seg := range r.Segments {
+			dur := seg.Seconds * 1e6
+			evs = append(evs, chromeEvent{
+				Name: seg.Kind,
+				Ph:   "X",
+				TS:   cursor,
+				Dur:  dur,
+				PID:  pid,
+				TID:  1 + r.Rank,
+			})
+			cursor += dur
+		}
 	}
 	counters := map[string]interface{}{}
 	for _, m := range Metrics() {

@@ -77,6 +77,9 @@ func WriteSummary(w io.Writer) {
 	for _, r := range rows {
 		line(r)
 	}
+	if p := PeakBytes(); p > 0 {
+		fmt.Fprintf(w, "peak scratch bytes: %d\n", p)
+	}
 }
 
 // WriteMetrics prints the current counter/gauge snapshot, one per line.

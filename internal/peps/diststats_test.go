@@ -6,6 +6,7 @@ import (
 
 	"gokoala/internal/backend"
 	"gokoala/internal/dist"
+	"gokoala/internal/obs"
 	"gokoala/internal/pool"
 	"gokoala/internal/quantum"
 )
@@ -19,7 +20,7 @@ import (
 // unprotected fields dropped updates outright).
 func TestDistStatsWorkerCountInvariant(t *testing.T) {
 	defer pool.SetWorkers(0)
-	run := func(workers int) dist.Stats {
+	run := func(workers int) (dist.Stats, []obs.RankRecord) {
 		pool.SetWorkers(workers)
 		g := dist.NewGrid(dist.Stampede2(16))
 		eng := backend.NewDist(g, true)
@@ -32,14 +33,26 @@ func TestDistStatsWorkerCountInvariant(t *testing.T) {
 		if e == 0 {
 			t.Fatal("degenerate energy")
 		}
-		return g.Snapshot()
+		return g.Snapshot(), g.RankTimelines()
 	}
-	s1 := run(1)
-	s4 := run(4)
+	s1, r1 := run(1)
+	s4, r4 := run(4)
 	if s1 != s4 {
 		t.Fatalf("grid stats differ between 1 and 4 workers:\n1: %+v\n4: %+v", s1, s4)
 	}
 	if s1.CompSeconds <= 0 || s1.Msgs <= 0 {
 		t.Fatalf("implausible accounting: %+v", s1)
+	}
+	// The per-rank timeline totals share the integer-picosecond
+	// determinism contract with the aggregate stats.
+	if len(r1) != len(r4) {
+		t.Fatalf("rank record counts differ: %d vs %d", len(r1), len(r4))
+	}
+	for i := range r1 {
+		a, b := r1[i], r4[i]
+		if a.CompSeconds != b.CompSeconds || a.LatSeconds != b.LatSeconds ||
+			a.BWSeconds != b.BWSeconds || a.WaitSeconds != b.WaitSeconds {
+			t.Fatalf("rank %d timeline differs between 1 and 4 workers:\n1: %+v\n4: %+v", i, a, b)
+		}
 	}
 }

@@ -34,11 +34,15 @@ import (
 // task-private source (see einsumsvd.Fork).
 
 // Scheduler observability: tasks handed their own goroutine, tasks run
-// inline because every worker token was taken (token contention), and
-// coordinator seconds spent waiting for group completion (idle time).
+// inline because every worker token was taken (token contention), the
+// total task count (deterministic: it depends only on the submitted
+// work, never on worker count — the regression gate and koala-obs diff
+// rely on that), and coordinator seconds spent waiting for group
+// completion (idle time).
 var (
 	obsGroupTasks  = obs.NewCounter("pool.group.tasks")
 	obsGroupInline = obs.NewCounter("pool.group.inline")
+	obsTaskCount   = obs.NewCounter("pool.task.count")
 	obsGroupWait   = obs.NewFloatCounter("pool.group.wait_seconds")
 )
 
@@ -46,27 +50,43 @@ var (
 // inline). ForMax divides the kernel worker share by it.
 var latticeActive atomic.Int64
 
-// tokenMu guards the worker-token count. Tokens bound how many group
+// tokenMu guards the worker-token slots. Tokens bound how many group
 // tasks hold a private goroutine at once; the bound tracks Size() at
-// acquisition time, so SetWorkers takes effect for new tasks immediately.
+// acquisition time, so SetWorkers takes effect for new tasks
+// immediately. Tokens are slot-indexed (lowest free slot wins) so task
+// spans can name the lattice-level worker lane they ran on.
 var (
-	tokenMu     sync.Mutex
-	tokensInUse int
+	tokenMu    sync.Mutex
+	tokenSlots []bool // true = slot in use; len grows to Size() on demand
+	tokenCount int
 )
 
-func tryToken() bool {
+// tryToken claims the lowest free worker-token slot, returning the slot
+// index, or -1 when all Size() tokens are taken.
+func tryToken() int {
 	tokenMu.Lock()
 	defer tokenMu.Unlock()
-	if tokensInUse >= Size() {
-		return false
+	n := Size()
+	if tokenCount >= n {
+		return -1
 	}
-	tokensInUse++
-	return true
+	for len(tokenSlots) < n {
+		tokenSlots = append(tokenSlots, false)
+	}
+	for i := 0; i < n; i++ {
+		if !tokenSlots[i] {
+			tokenSlots[i] = true
+			tokenCount++
+			return i
+		}
+	}
+	return -1
 }
 
-func releaseToken() {
+func releaseToken(slot int) {
 	tokenMu.Lock()
-	tokensInUse--
+	tokenSlots[slot] = false
+	tokenCount--
 	tokenMu.Unlock()
 }
 
@@ -75,23 +95,26 @@ func releaseToken() {
 func TokensInUse() int {
 	tokenMu.Lock()
 	defer tokenMu.Unlock()
-	return tokensInUse
+	return tokenCount
 }
 
 // Group is a structured set of lattice-level tasks: spawn with Go, then
 // Wait for all of them. The zero value is not usable; construct with
 // NewGroup. A Group must not be reused after Wait returns.
 type Group struct {
+	name      string
 	sp        *obs.Span
+	nextTask  atomic.Int64
 	wg        sync.WaitGroup
 	panicOnce sync.Once
 	panicked  any
 }
 
 // NewGroup opens a task group. The name labels the group's obs span
-// (one span per group, covering spawn to Wait).
+// (one span per group, covering spawn to Wait) and the task spans hung
+// under it.
 func NewGroup(name string) *Group {
-	return &Group{sp: obs.Start("pool.group").SetStr("name", name)}
+	return &Group{name: name, sp: obs.Start("pool.group").SetStr("name", name)}
 }
 
 // Go submits one task. If a worker token is free the task runs on its
@@ -100,18 +123,19 @@ func NewGroup(name string) *Group {
 // forward progress under full load. Bodies of one group must write to
 // disjoint locations; a panic in any body is re-raised by Wait.
 func (g *Group) Go(body func()) {
-	if tryToken() {
+	submitted := time.Now()
+	if slot := tryToken(); slot >= 0 {
 		obsGroupTasks.Add(1)
 		g.wg.Add(1)
 		go func() {
 			defer g.wg.Done()
-			defer releaseToken()
-			g.run(body)
+			defer releaseToken(slot)
+			g.run(body, slot, submitted)
 		}()
 		return
 	}
 	obsGroupInline.Add(1)
-	g.run(body)
+	g.run(body, -1, submitted)
 }
 
 // TaskPanic is the panic value Wait re-raises when a task body panicked:
@@ -146,7 +170,15 @@ func (p *TaskPanic) Unwrap() error {
 // the lattice-active decrement — and, on the goroutine path in Go, the
 // worker-token release — always run, keeping a panicking task from
 // starving later groups of tokens or kernel shares.
-func (g *Group) run(body func()) {
+//
+// Each task gets a span parented under the group span — from any
+// goroutine, via the explicit StartChild handle — carrying the group
+// name, the task index within the group, the worker slot it ran on
+// (-1 = inline on the submitter), and the queue wait between submission
+// and execution start. Adopt binds the span to the executing goroutine
+// so everything the body starts (engine spans, nested ForMax chunks)
+// nests under its true task.
+func (g *Group) run(body func(), slot int, submitted time.Time) {
 	latticeActive.Add(1)
 	defer latticeActive.Add(-1)
 	defer func() {
@@ -158,6 +190,19 @@ func (g *Group) run(body func()) {
 			g.panicOnce.Do(func() { g.panicked = tp })
 		}
 	}()
+	obsTaskCount.Add(1)
+	sp := g.sp.StartChild("pool.task")
+	if sp != nil {
+		sp.SetStr("group", g.name).
+			SetInt("task", g.nextTask.Add(1)-1).
+			SetInt("worker", int64(slot)).
+			SetFloat("queue_wait_s", time.Since(submitted).Seconds())
+		if slot >= 0 {
+			sp.SetTrack(slot + 1)
+		}
+		sp.Adopt()
+		defer sp.End()
+	}
 	body()
 }
 

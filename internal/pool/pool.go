@@ -18,21 +18,33 @@ import (
 	"runtime"
 	"strconv"
 	"sync"
+	"time"
 
 	"gokoala/internal/obs"
 )
 
 // Dispatch observability: chunks handed to workers versus chunks the
-// submitting goroutine ran because the queue was full.
+// submitting goroutine ran because the queue was full, plus worker-side
+// queue-wait seconds (submission to execution start; wall-clock, so
+// never diffed or gated).
 var (
-	obsPoolTasks  = obs.NewCounter("pool.tasks")
-	obsPoolInline = obs.NewCounter("pool.inline")
+	obsPoolTasks     = obs.NewCounter("pool.tasks")
+	obsPoolInline    = obs.NewCounter("pool.inline")
+	obsPoolQueueWait = obs.NewFloatCounter("pool.queue_wait_seconds")
 )
 
 type task struct {
 	body   func(lo, hi int)
 	lo, hi int
 	wg     *sync.WaitGroup
+	// sp is the submitting call's dispatch span; workers hang their
+	// per-chunk spans under it so a chunk lands beneath its true parent
+	// (the einsum/GEMM region that submitted it), not the trace root.
+	// nil while tracing is off.
+	sp *obs.Span
+	// submitted is the dispatch timestamp for queue-wait attribution;
+	// zero while tracing is off.
+	submitted time.Time
 }
 
 var (
@@ -130,13 +142,27 @@ func start(n int) {
 	size = n
 	queue = make(chan task, n*queueDepth)
 	for i := 0; i < n; i++ {
-		go worker(queue)
+		go worker(i, queue)
 	}
 }
 
-func worker(q chan task) {
+func worker(id int, q chan task) {
 	for t := range q {
-		t.body(t.lo, t.hi)
+		if t.sp != nil {
+			// Per-chunk span under the dispatching call's span: worker
+			// lane, chunk bounds, and how long the chunk sat queued.
+			sp := t.sp.StartChild("pool.chunk").SetTrack(id + 1).
+				SetInt("worker", int64(id)).
+				SetInt("n", int64(t.hi-t.lo))
+			wait := time.Since(t.submitted).Seconds()
+			sp.SetFloat("queue_wait_s", wait)
+			obsPoolQueueWait.Add(wait)
+			sp.Adopt()
+			t.body(t.lo, t.hi)
+			sp.End()
+		} else {
+			t.body(t.lo, t.hi)
+		}
 		t.wg.Done()
 	}
 }
@@ -168,6 +194,19 @@ func ForMax(max, n, grain int, body func(lo, hi int)) {
 		body(0, n)
 		return
 	}
+	// Dispatch span: one per multi-chunk ForMax call, parented under the
+	// submitting goroutine's innermost span (the kernel region that asked
+	// for parallelism). Worker-side chunks become its children, so nested
+	// kernel splits land under their true parent in the trace.
+	var sp *obs.Span
+	var submitted time.Time
+	if obs.Enabled() {
+		if cur := obs.Current(); cur != nil {
+			sp = cur.StartChild("pool.for").
+				SetInt("n", int64(n)).SetInt("chunks", int64(chunks))
+			submitted = time.Now()
+		}
+	}
 	q := ensure()
 	var wg sync.WaitGroup
 	for c := 1; c < chunks; c++ {
@@ -177,7 +216,7 @@ func ForMax(max, n, grain int, body func(lo, hi int)) {
 		}
 		wg.Add(1)
 		select {
-		case q <- task{body, lo, hi, &wg}:
+		case q <- task{body, lo, hi, &wg, sp, submitted}:
 			obsPoolTasks.Add(1)
 		default:
 			// Queue full (deep nesting or heavy concurrent use): make
@@ -189,4 +228,5 @@ func ForMax(max, n, grain int, body func(lo, hi int)) {
 	}
 	body(0, n/chunks)
 	wg.Wait()
+	sp.End()
 }
