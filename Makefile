@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet check bench bench-smoke bench-sched bench-resume bench-compare clean
+.PHONY: all build test race vet check bench bench-smoke bench-sched bench-resume bench-compare telemetry-smoke clean
 
 all: check
 
@@ -14,12 +14,14 @@ test:
 
 # Race-check the concurrency-sensitive packages: the simulated
 # distributed runtime, the obs counters/span stack, the worker pool and
-# task groups, the kernels/planner that dispatch onto them, and the
-# lattice layers (peps, mps, ite) the task scheduler drives.
+# task groups, the kernels/planner that dispatch onto them, the lattice
+# layers (peps, mps, ite) the task scheduler drives, and the telemetry
+# recorder whose hot path is scraped concurrently with publishers.
 race:
 	$(GO) test -race ./internal/dist/... ./internal/obs/... ./internal/backend/... \
 		./internal/pool/... ./internal/tensor/... ./internal/einsum/... ./internal/linalg/... \
-		./internal/einsumsvd/... ./internal/mps/... ./internal/peps/... ./internal/ite/...
+		./internal/einsumsvd/... ./internal/mps/... ./internal/peps/... ./internal/ite/... \
+		./internal/telemetry/... ./internal/cliutil/...
 
 vet:
 	$(GO) vet ./...
@@ -31,9 +33,43 @@ bench:
 	$(GO) test -bench=BenchmarkContract -benchmem -run=^$$ ./internal/einsum/
 
 # One-iteration pass over every benchmark in the repo: catches bit-rot
-# in benchmark code without burning CI minutes on timing.
-bench-smoke:
+# in benchmark code without burning CI minutes on timing. Also exercises
+# the live telemetry plane end to end (telemetry-smoke).
+bench-smoke: telemetry-smoke
 	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
+
+# Live-telemetry smoke: start an ITE run with -listen on an ephemeral
+# port, attach koala-obs watch -once mid-run (which validates the
+# /metrics exposition with the strict parser and decodes /healthz),
+# require the physics series to be present and health to be ok, then
+# SIGINT the run and require a clean graceful exit.
+telemetry-smoke:
+	@tmp=$$(mktemp -d); trap "rm -rf $$tmp" EXIT; set -e; \
+	$(GO) build -o $$tmp/koala-ite ./cmd/koala-ite; \
+	$(GO) build -o $$tmp/koala-obs ./cmd/koala-obs; \
+	$$tmp/koala-ite -model tfi -rows 2 -cols 2 -r 2 -steps 100000 -every 5 \
+		-reference=false -listen 127.0.0.1:0 > $$tmp/run.txt 2> $$tmp/err.txt & pid=$$!; \
+	addr=""; for i in $$(seq 1 100); do \
+		addr=$$(sed -n 's#^telemetry: listening on http://\([^ ]*\).*#\1#p' $$tmp/run.txt); \
+		[ -n "$$addr" ] && break; sleep 0.1; done; \
+	if [ -z "$$addr" ]; then echo "telemetry-smoke: no listen line"; cat $$tmp/err.txt; \
+		kill $$pid 2>/dev/null; exit 1; fi; \
+	ok=""; for i in $$(seq 1 100); do \
+		if $$tmp/koala-obs watch -once -json $$addr > $$tmp/snap.json 2> $$tmp/watch.err \
+			&& grep -q koala_ite_energy_per_site $$tmp/snap.json; then ok=1; break; fi; \
+		sleep 0.2; done; \
+	if [ -z "$$ok" ]; then echo "telemetry-smoke: no validated snapshot with energy series"; \
+		cat $$tmp/watch.err; kill $$pid 2>/dev/null; exit 1; fi; \
+	grep -q '"status": "ok"' $$tmp/snap.json || { \
+		echo "telemetry-smoke: /healthz not ok"; cat $$tmp/snap.json; kill $$pid 2>/dev/null; exit 1; }; \
+	grep -q koala_svd_trunc_error $$tmp/snap.json || { \
+		echo "telemetry-smoke: truncation-error series missing"; kill $$pid 2>/dev/null; exit 1; }; \
+	kill -INT $$pid; status=0; wait $$pid || status=$$?; \
+	if [ $$status -ne 0 ]; then echo "telemetry-smoke: graceful stop exited $$status"; \
+		cat $$tmp/err.txt; exit 1; fi; \
+	grep -q '^interrupted: stopped gracefully' $$tmp/run.txt || { \
+		echo "telemetry-smoke: no graceful-stop report"; cat $$tmp/run.txt; exit 1; }; \
+	echo "telemetry-smoke: validated /metrics + /healthz mid-run, graceful SIGINT stop"
 
 # The lattice task scheduler's end-to-end benchmarks, once, at a
 # multi-worker pool size: catches panics and scheduling deadlocks that

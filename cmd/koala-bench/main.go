@@ -31,6 +31,7 @@ import (
 	"io"
 	"os"
 	"runtime"
+	"strings"
 	"time"
 
 	"gokoala/internal/bench"
@@ -50,6 +51,7 @@ func main() {
 	compareDir := flag.String("compare", "", "gate each suite's deterministic metrics against the BENCH_<suite>.json baselines in this directory; exit nonzero on regression")
 	workers := cliutil.WorkersFlag()
 	scaling := flag.Bool("scaling", true, "with -json, rerun each suite at worker counts 1,2,4,... and record the scaling curve")
+	listen := cliutil.ListenFlag()
 	flag.Parse()
 	cliutil.ApplyWorkers(*workers)
 	args := flag.Args()
@@ -95,6 +97,18 @@ func main() {
 		}
 		obs.Enable(sinks...)
 	}
+	tel, err := cliutil.StartTelemetry(*listen, "bench", map[string]string{"suites": strings.Join(args, ",")})
+	if err != nil {
+		fatal(err)
+	}
+	defer tel.Close()
+	cliutil.HandleSignals(false, func() {
+		_ = obs.Flush()
+		_ = tel.Close()
+		for _, c := range closers {
+			_ = c.Close()
+		}
+	})
 
 	w := os.Stdout
 	regressions := 0

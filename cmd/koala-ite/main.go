@@ -43,6 +43,7 @@ func main() {
 	ck := cliutil.CheckpointFlags("steps")
 	oc := cliutil.ObsFlags()
 	workers := cliutil.WorkersFlag()
+	listen := cliutil.ListenFlag()
 	flag.Parse()
 	cliutil.ApplyWorkers(*workers)
 	if err := cliutil.ApplyHealth(*healthFlag); err != nil {
@@ -54,6 +55,18 @@ func main() {
 	if _, err := oc.Setup(); err != nil {
 		log.Fatal(err)
 	}
+	tel, err := cliutil.StartTelemetry(*listen, "ite", map[string]string{
+		"model": *model,
+		"rows":  fmt.Sprint(*rows), "cols": fmt.Sprint(*cols),
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer tel.Close()
+	cliutil.HandleSignals(true, func() {
+		_ = oc.Finish(nil)
+		_ = tel.Close()
+	})
 
 	var obs *quantum.Observable
 	switch *model {
@@ -121,7 +134,11 @@ func main() {
 		CheckpointEvery: *ck.Every,
 		From:            from,
 		AfterStep:       afterStep,
+		Stop:            cliutil.StopRequested,
 	})
+	if cliutil.StopRequested() {
+		fmt.Printf("interrupted: stopped gracefully after %d measured point(s)\n", len(res.Energies))
+	}
 	fmt.Printf("ITE on %dx%d %s, r=%d m=%d tau=%g\n", *rows, *cols, *model, *r, mm, *tau)
 	for i, e := range res.Energies {
 		// Full float64 precision so resumed runs can be diffed bit for bit

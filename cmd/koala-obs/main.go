@@ -5,21 +5,28 @@
 //
 // Usage:
 //
-//	koala-obs report [-top k] trace.jsonl
+//	koala-obs report [-top k] [-json] trace.jsonl
 //	koala-obs diff a.jsonl b.jsonl
+//	koala-obs watch [-interval d] [-once] [-json] [-events n] host:port
 //
 // report prints the per-phase summary, the top-k spans by inclusive
 // time, exclusive time, and flops, the critical path with per-step
 // slack, and the per-rank utilization table of every modeled grid.
+// -json emits the same content as one machine-readable document.
 //
 // diff compares only the deterministic fields of two logs — machine
 // model totals, operation counts, health counters, rank timelines —
 // and exits nonzero when they disagree. Two runs of the same
 // experiment at different worker counts must diff clean; wall times
 // and scheduling artifacts are excluded by construction.
+//
+// watch attaches to the live telemetry plane a run exposes with
+// -listen, validating /metrics on every poll and following the /events
+// step stream. See DESIGN.md "Live telemetry plane".
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -39,6 +46,7 @@ func main() {
 	case "report":
 		fs := flag.NewFlagSet("report", flag.ExitOnError)
 		top := fs.Int("top", 10, "rows per top-span ranking")
+		jsonOut := fs.Bool("json", false, "emit the report as JSON")
 		fs.Parse(os.Args[2:])
 		if fs.NArg() != 1 {
 			usage()
@@ -48,7 +56,17 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
+		if *jsonOut {
+			enc := json.NewEncoder(os.Stdout)
+			enc.SetIndent("", "  ")
+			if err := enc.Encode(obsfile.BuildReport(t, *top)); err != nil {
+				fatal(err)
+			}
+			return
+		}
 		report(os.Stdout, t, *top)
+	case "watch":
+		os.Exit(runWatch(os.Args[2:]))
 	case "diff":
 		if len(os.Args) != 4 {
 			usage()
@@ -276,6 +294,26 @@ func fatal(err error) {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: koala-obs report [-top k] trace.jsonl
-       koala-obs diff a.jsonl b.jsonl`)
+	fmt.Fprintln(os.Stderr, `usage: koala-obs <command> [flags] [args]
+
+commands:
+  report [-top k] [-json] trace.jsonl
+      Analyze a -metrics/-trace JSON-lines log: per-phase summary,
+      top-k spans (inclusive, exclusive, flops), critical path with
+      slack, modeled per-rank utilization, final counters.
+      -json emits the same report as one machine-readable document.
+
+  diff a.jsonl b.jsonl
+      Compare the deterministic fields of two logs; exit 1 when they
+      disagree, 0 when every field matches.
+
+  watch [-interval d] [-once] [-json] [-events n] host:port
+      Attach to a running command's -listen telemetry plane. Polls
+      /metrics (validated Prometheus text) and /healthz, follows the
+      /events SSE stream, and redraws a live progress/convergence
+      view. -once takes a single validated snapshot and exits
+      (nonzero when unreachable or the exposition is malformed);
+      -json emits snapshots as JSON.
+
+exit codes: 0 ok, 1 analysis failure/mismatch, 2 bad usage`)
 }

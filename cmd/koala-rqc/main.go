@@ -31,11 +31,23 @@ func main() {
 	seed := cliutil.SeedFlag(7)
 	oc := cliutil.ObsFlags()
 	workers := cliutil.WorkersFlag()
+	listen := cliutil.ListenFlag()
 	flag.Parse()
 	cliutil.ApplyWorkers(*workers)
 	if _, err := oc.Setup(); err != nil {
 		log.Fatal(err)
 	}
+	tel, err := cliutil.StartTelemetry(*listen, "rqc", map[string]string{
+		"n": fmt.Sprint(*n), "layers": fmt.Sprint(*layers),
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer tel.Close()
+	cliutil.HandleSignals(true, func() {
+		_ = oc.Finish(nil)
+		_ = tel.Close()
+	})
 
 	var ms []int
 	for _, s := range strings.Split(*msFlag, ",") {
@@ -52,8 +64,14 @@ func main() {
 
 	eng := backend.Instrument(backend.NewDense())
 	state := peps.ComputationalZeros(eng, *n, *n)
-	for _, g := range circ.Gates {
-		state.ApplyGate(g, peps.UpdateOptions{Rank: *evolveRank, Method: peps.UpdateQR})
+	applied := rqc.Apply(state, circ, peps.UpdateOptions{Rank: *evolveRank, Method: peps.UpdateQR},
+		cliutil.StopRequested)
+	if applied < len(circ.Gates) {
+		fmt.Printf("interrupted: stopped gracefully after %d of %d gates\n", applied, len(circ.Gates))
+		if err := oc.Finish(os.Stdout); err != nil {
+			log.Fatal(err)
+		}
+		return
 	}
 	fmt.Printf("evolution bond dimension: %d\n", state.MaxBond())
 
@@ -64,6 +82,9 @@ func main() {
 
 	fmt.Println("m      rel.err(BMPS)  rel.err(IBMPS)")
 	for _, m := range ms {
+		if cliutil.StopRequested() {
+			break
+		}
 		eb := peps.RelativeError(proj.ContractScalar(peps.BMPS{M: m, Strategy: einsumsvd.Explicit{}}), exact)
 		ib := peps.RelativeError(proj.ContractScalar(peps.BMPS{
 			M: m, Strategy: einsumsvd.ImplicitRand{Rng: rand.New(rand.NewSource(*seed + int64(m)))},

@@ -39,6 +39,7 @@ func main() {
 	ck := cliutil.CheckpointFlags("rounds")
 	oc := cliutil.ObsFlags()
 	workers := cliutil.WorkersFlag()
+	listen := cliutil.ListenFlag()
 	flag.Parse()
 	cliutil.ApplyWorkers(*workers)
 	if err := cliutil.ApplyHealth(*healthFlag); err != nil {
@@ -50,6 +51,17 @@ func main() {
 	if _, err := oc.Setup(); err != nil {
 		log.Fatal(err)
 	}
+	tel, err := cliutil.StartTelemetry(*listen, "vqe", map[string]string{
+		"rows": fmt.Sprint(*rows), "cols": fmt.Sprint(*cols), "layers": fmt.Sprint(*layers),
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer tel.Close()
+	cliutil.HandleSignals(true, func() {
+		_ = oc.Finish(nil)
+		_ = tel.Close()
+	})
 
 	obs := quantum.TransverseFieldIsing(*rows, *cols, *jz, *hx)
 	n := (*rows) * (*cols)
@@ -94,7 +106,11 @@ func main() {
 		CheckpointEvery: *ck.Every,
 		From:            from,
 		AfterRound:      afterRound,
+		Stop:            cliutil.StopRequested,
 	})
+	if cliutil.StopRequested() {
+		fmt.Println("interrupted: stopped gracefully after the current round")
+	}
 	label := fmt.Sprintf("peps r=%d", *r)
 	if *r <= 0 {
 		label = "state vector"

@@ -15,6 +15,7 @@ import (
 	"gokoala/internal/health"
 	"gokoala/internal/obs"
 	"gokoala/internal/pool"
+	"gokoala/internal/telemetry"
 )
 
 // SeedFlag registers the standard -seed flag with the given default.
@@ -34,6 +35,37 @@ func ApplyWorkers(n int) {
 	if n > 0 {
 		pool.SetWorkers(n)
 	}
+}
+
+// ListenFlag registers the standard -listen flag. Call StartTelemetry
+// with its value after flag.Parse (and after ObsConfig.Setup, so sinks
+// installed by -trace/-metrics are kept).
+func ListenFlag() *string {
+	return flag.String("listen", "",
+		"serve live telemetry on this address (/metrics /healthz /events /debug/pprof), e.g. :9090")
+}
+
+// StartTelemetry starts the live telemetry plane when addr is non-empty
+// and returns the server (nil when addr is empty). component and labels
+// become the run info exposed as koala_run_info and the SSE hello
+// event. Because the /metrics exposition renders the obs counter
+// registry, obs collection is enabled (with zero sinks) when no
+// -trace/-metrics flag already did. The bound address is printed so
+// wrappers can discover a :0 port.
+func StartTelemetry(addr, component string, labels map[string]string) (*telemetry.Server, error) {
+	if addr == "" {
+		return nil, nil
+	}
+	if !obs.Enabled() {
+		obs.Enable()
+	}
+	srv, err := telemetry.Serve(addr)
+	if err != nil {
+		return nil, err
+	}
+	telemetry.SetRunInfo(component, labels)
+	fmt.Printf("telemetry: listening on http://%s (/metrics /healthz /events /debug/pprof)\n", srv.Addr())
+	return srv, nil
 }
 
 // HealthFlag registers the standard -health flag. Call ApplyHealth with

@@ -1,0 +1,61 @@
+// Graceful shutdown: before this file existed, ^C on a multi-hour run
+// silently discarded the entire -trace/-metrics file (sinks buffer and
+// only Flush on a clean Finish) and any un-checkpointed progress. The
+// handler installed here turns the first SIGINT/SIGTERM into a
+// cooperative stop — commands with a step loop (koala-ite, koala-vqe,
+// koala-rqc) poll StopRequested, finish the current step, write a final
+// checkpoint, and unwind normally so every sink flushes — and the
+// second signal (or the first, for commands without a stop loop) into
+// an immediate flush-and-exit.
+package cliutil
+
+import (
+	"fmt"
+	"os"
+	"os/signal"
+	"sync/atomic"
+	"syscall"
+)
+
+var stopRequested atomic.Bool
+
+// StopRequested reports whether a graceful-stop signal arrived. Step
+// loops receive it through their Options.Stop hook; commands pass
+// cliutil.StopRequested there.
+func StopRequested() bool { return stopRequested.Load() }
+
+// requestStop is the test seam for the first-signal path.
+func requestStop() { stopRequested.Store(true) }
+
+// HandleSignals installs the SIGINT/SIGTERM handler. graceful says the
+// command polls StopRequested (via an Options.Stop hook): then the
+// first signal only requests a cooperative stop and the second forces
+// exit. Commands without a stop loop pass graceful=false and the first
+// signal forces exit. flush runs before a forced exit — it must flush
+// obs sinks and close the telemetry listener; keep it free of
+// long-running work. The forced exit code is the conventional 128+sig.
+func HandleSignals(graceful bool, flush func()) {
+	ch := make(chan os.Signal, 2)
+	signal.Notify(ch, os.Interrupt, syscall.SIGTERM)
+	go handleSignalSequence(ch, graceful, flush, func(code int) { os.Exit(code) })
+}
+
+// handleSignalSequence is the testable handler body.
+func handleSignalSequence(ch <-chan os.Signal, graceful bool, flush func(), exit func(int)) {
+	sig := <-ch
+	if graceful {
+		requestStop()
+		fmt.Fprintf(os.Stderr,
+			"\n%v: stopping after the current step (checkpoint + flush); signal again to abort\n", sig)
+		sig = <-ch
+	}
+	fmt.Fprintf(os.Stderr, "\n%v: flushing observability state and exiting\n", sig)
+	if flush != nil {
+		flush()
+	}
+	code := 130
+	if s, ok := sig.(syscall.Signal); ok {
+		code = 128 + int(s)
+	}
+	exit(code)
+}

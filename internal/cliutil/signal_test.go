@@ -1,0 +1,79 @@
+package cliutil
+
+import (
+	"os"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// drive runs handleSignalSequence against a fake signal channel and
+// returns the exit code it requested (or -1 if it never exited).
+func drive(t *testing.T, graceful bool, sigs []os.Signal, flush func()) int {
+	t.Helper()
+	ch := make(chan os.Signal, len(sigs))
+	exited := make(chan int, 1)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		handleSignalSequence(ch, graceful, flush, func(code int) {
+			exited <- code
+			// The real handler never returns from os.Exit; park so the
+			// goroutine does not run past the exit point.
+			select {}
+		})
+	}()
+	for _, s := range sigs {
+		ch <- s
+	}
+	select {
+	case code := <-exited:
+		return code
+	case <-time.After(2 * time.Second):
+		return -1
+	}
+}
+
+func TestGracefulFirstSignalOnlyRequestsStop(t *testing.T) {
+	stopRequested.Store(false)
+	defer stopRequested.Store(false)
+	ch := make(chan os.Signal, 1)
+	go handleSignalSequence(ch, true, nil, func(int) { select {} })
+	ch <- syscall.SIGINT
+	deadline := time.Now().Add(2 * time.Second)
+	for !StopRequested() {
+		if time.Now().After(deadline) {
+			t.Fatal("first signal did not set StopRequested")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func TestGracefulSecondSignalFlushesAndExits(t *testing.T) {
+	stopRequested.Store(false)
+	defer stopRequested.Store(false)
+	flushed := false
+	code := drive(t, true, []os.Signal{syscall.SIGINT, syscall.SIGINT}, func() { flushed = true })
+	if code != 130 {
+		t.Fatalf("exit code %d, want 130 (128+SIGINT)", code)
+	}
+	if !flushed {
+		t.Fatal("flush did not run before forced exit")
+	}
+	if !StopRequested() {
+		t.Fatal("StopRequested must be set after the first signal")
+	}
+}
+
+func TestNonGracefulFirstSignalExits(t *testing.T) {
+	stopRequested.Store(false)
+	defer stopRequested.Store(false)
+	flushed := false
+	code := drive(t, false, []os.Signal{syscall.SIGTERM}, func() { flushed = true })
+	if code != 128+int(syscall.SIGTERM) {
+		t.Fatalf("exit code %d, want %d", code, 128+int(syscall.SIGTERM))
+	}
+	if !flushed {
+		t.Fatal("flush did not run")
+	}
+}

@@ -13,6 +13,7 @@ import (
 	"gokoala/internal/health"
 	"gokoala/internal/peps"
 	"gokoala/internal/quantum"
+	"gokoala/internal/telemetry"
 )
 
 // Options configures a PEPS imaginary time evolution run.
@@ -66,6 +67,11 @@ type Options struct {
 	// (measurement and checkpoint write) with the 1-based step index.
 	// Crash-injection tests use it to kill the process mid-run.
 	AfterStep func(step int)
+	// Stop, when non-nil, is polled after each step; when it returns
+	// true the evolution measures the current state, writes a final
+	// checkpoint (when CheckpointPath is set), and returns early with
+	// the partial trace. cliutil's SIGINT handler drives it.
+	Stop func() bool
 }
 
 // Result holds the evolution trace.
@@ -138,7 +144,11 @@ func Evolve(state *peps.PEPS, obs *quantum.Observable, opts Options) Result {
 		} else {
 			state.ApplyCircuit(gates, upd)
 		}
-		if step%opts.MeasureEvery == 0 || step == opts.Steps {
+		// Poll after the sweep so a signal mid-sweep still yields a
+		// consistent measured + checkpointed state for this step.
+		stopping := opts.Stop != nil && opts.Stop()
+		measuredNow := false
+		if step%opts.MeasureEvery == 0 || step == opts.Steps || stopping {
 			measured := state
 			if su != nil {
 				measured = su.Absorb()
@@ -155,8 +165,23 @@ func Evolve(state *peps.PEPS, obs *quantum.Observable, opts Options) Result {
 			health.CheckFloat("ite.energy", e)
 			res.Energies = append(res.Energies, e)
 			res.MeasuredAt = append(res.MeasuredAt, step)
+			measuredNow = true
 		}
-		if opts.CheckpointPath != "" && (step%opts.CheckpointEvery == 0 || step == opts.Steps) {
+		if telemetry.Active() {
+			fields := map[string]float64{
+				"step":        float64(step),
+				"steps_total": float64(opts.Steps),
+				"max_bond":    float64(state.MaxBond()),
+			}
+			if measuredNow {
+				e := res.Energies[len(res.Energies)-1]
+				fields["energy_per_site"] = e
+				telemetry.Observe("ite.energy_per_site", e)
+			}
+			telemetry.Observe("ite.step", float64(step))
+			telemetry.Publish("ite.step", step, fields)
+		}
+		if opts.CheckpointPath != "" && (step%opts.CheckpointEvery == 0 || step == opts.Steps || stopping) {
 			// Failed writes are counted (health.checkpoint_failures) by
 			// WriteAtomic and the previous checkpoint stays valid; losing
 			// one checkpoint must not kill an hours-long evolution.
@@ -170,6 +195,10 @@ func Evolve(state *peps.PEPS, obs *quantum.Observable, opts Options) Result {
 		}
 		if opts.AfterStep != nil {
 			opts.AfterStep(step)
+		}
+		if stopping {
+			telemetry.Publish("ite.stop", step, nil)
+			break
 		}
 	}
 	res.Final = state

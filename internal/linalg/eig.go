@@ -7,6 +7,7 @@ import (
 	"sort"
 
 	"gokoala/internal/health"
+	"gokoala/internal/telemetry"
 	"gokoala/internal/tensor"
 )
 
@@ -50,6 +51,8 @@ func EigHReport(a *tensor.Dense) (w []float64, v *tensor.Dense, rep Report) {
 	if !rep.Converged {
 		health.CountNonconverged("linalg.eigh")
 	}
+	telemetry.ObserveHist("solver.sweeps", telemetry.Pow2Bounds, float64(rep.Sweeps),
+		telemetry.Label{Key: "solver", Value: "jacobi_eigh"})
 	return w, v, rep
 }
 

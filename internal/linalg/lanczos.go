@@ -6,6 +6,7 @@ import (
 	"math/rand"
 
 	"gokoala/internal/health"
+	"gokoala/internal/telemetry"
 	"gokoala/internal/tensor"
 )
 
@@ -94,6 +95,8 @@ func LanczosReport(matvec MatVecFunc, n, maxIter int, tol float64, rng *rand.Ran
 	if !rep.Converged {
 		health.CountNonconverged("linalg.lanczos")
 	}
+	telemetry.ObserveHist("solver.sweeps", telemetry.Pow2Bounds, float64(rep.Sweeps),
+		telemetry.Label{Key: "solver", Value: "lanczos"})
 
 	// Diagonalize the tridiagonal projection with the dense Hermitian
 	// eigensolver (sizes here are <= maxIter, tiny).

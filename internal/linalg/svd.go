@@ -10,6 +10,7 @@ import (
 	"gokoala/internal/health"
 	"gokoala/internal/obs"
 	"gokoala/internal/pool"
+	"gokoala/internal/telemetry"
 	"gokoala/internal/tensor"
 )
 
@@ -70,6 +71,8 @@ func SVDReport(a *tensor.Dense) (u *tensor.Dense, s []float64, v *tensor.Dense, 
 	if !rep.Converged {
 		health.CountNonconverged("linalg.svd")
 	}
+	telemetry.ObserveHist("solver.sweeps", telemetry.Pow2Bounds, float64(rep.Sweeps),
+		telemetry.Label{Key: "solver", Value: "jacobi_svd"})
 	return u, s, v, rep
 }
 
@@ -286,9 +289,19 @@ func TruncatedSVD(a *tensor.Dense, rank int) (u *tensor.Dense, s []float64, v *t
 	if k <= 0 {
 		panic(fmt.Sprintf("linalg: TruncatedSVD rank %d invalid", rank))
 	}
-	if obs.Enabled() {
-		obsSVDCalls.Add(1)
-		obsSVDTruncError.Set(TruncError(sf, k))
+	if obs.Enabled() || telemetry.Active() {
+		te := TruncError(sf, k)
+		if obs.Enabled() {
+			obsSVDCalls.Add(1)
+			obsSVDTruncError.Set(te)
+		}
+		if telemetry.Active() {
+			telemetry.Observe("svd.trunc_error", te)
+			telemetry.ObserveHist("svd.trunc_error_hist", telemetry.LogBounds, te)
+			// Stash for the peps update on this goroutine to re-label
+			// with its lattice bond (see telemetry.SetPendingTrunc).
+			telemetry.SetPendingTrunc(te)
+		}
 	}
 	return sliceCols(uf, k), sf[:k], sliceCols(vf, k)
 }

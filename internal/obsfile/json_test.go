@@ -1,0 +1,85 @@
+package obsfile
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+// TestBuildReportMirrorsTextReport checks the JSON report carries the
+// same aggregates the text report prints: span/root counts, phases,
+// rankings, a critical path no longer than the traced wall, rank rows,
+// and the final counters — and that it round-trips through encoding.
+func TestBuildReportMirrorsTextReport(t *testing.T) {
+	log, _ := buildLog(t)
+	tr, err := Read(bytes.NewReader(log))
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc := BuildReport(tr, 5)
+
+	if doc.Spans != len(tr.Spans) || doc.Roots != len(tr.Roots) {
+		t.Fatalf("counts %d/%d, want %d/%d", doc.Spans, doc.Roots, len(tr.Spans), len(tr.Roots))
+	}
+	if doc.WallUS != tr.WallUS() {
+		t.Fatalf("wall %g != %g", doc.WallUS, tr.WallUS())
+	}
+	if len(doc.Phases) != len(tr.Phases()) {
+		t.Fatalf("phases %d != %d", len(doc.Phases), len(tr.Phases()))
+	}
+	for _, by := range []string{ByInclusive, ByExclusive} {
+		spans, ok := doc.Top[by]
+		if !ok || len(spans) == 0 {
+			t.Fatalf("ranking %q missing: %v", by, doc.Top)
+		}
+		if len(spans) > 5 {
+			t.Fatalf("ranking %q exceeds top-k: %d", by, len(spans))
+		}
+		for i := 1; i < len(spans); i++ {
+			a, b := spans[i-1], spans[i]
+			if by == ByInclusive && a.DurUS < b.DurUS {
+				t.Fatalf("%q not sorted: %g before %g", by, a.DurUS, b.DurUS)
+			}
+			if by == ByExclusive && a.SelfUS < b.SelfUS {
+				t.Fatalf("%q not sorted: %g before %g", by, a.SelfUS, b.SelfUS)
+			}
+		}
+	}
+	// buildLog's leaves carry flops, so the flops ranking must survive
+	// the positive-flops filter.
+	if len(doc.Top[ByFlops]) == 0 {
+		t.Fatalf("flops ranking missing: %v", doc.Top)
+	}
+	if doc.CriticalPath == nil || len(doc.CriticalPath.Steps) == 0 {
+		t.Fatal("critical path missing")
+	}
+	if doc.CriticalPath.TotalUS > doc.WallUS+1 {
+		t.Fatalf("critical path %g exceeds wall %g", doc.CriticalPath.TotalUS, doc.WallUS)
+	}
+	for _, st := range doc.CriticalPath.Steps {
+		if st.SlackUS == nil {
+			t.Fatalf("critical-path step %q missing slack", st.Name)
+		}
+	}
+	if len(doc.Ranks) != 2 {
+		t.Fatalf("rank rows %d, want 2", len(doc.Ranks))
+	}
+	if doc.Metrics["dist.test.ops"] != 42 {
+		t.Fatalf("metrics map lost the counter: %v", doc.Metrics)
+	}
+
+	// Round-trip: the document is part of the CLI contract and must
+	// encode/decode losslessly.
+	raw, err := json.Marshal(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back ReportDoc
+	if err := json.Unmarshal(raw, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Spans != doc.Spans || len(back.Phases) != len(doc.Phases) ||
+		len(back.CriticalPath.Steps) != len(doc.CriticalPath.Steps) {
+		t.Fatalf("round-trip mismatch: %+v vs %+v", back, doc)
+	}
+}

@@ -4,11 +4,13 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"strconv"
 
 	"gokoala/internal/einsumsvd"
 	"gokoala/internal/obs"
 	"gokoala/internal/pool"
 	"gokoala/internal/quantum"
+	"gokoala/internal/telemetry"
 	"gokoala/internal/tensor"
 )
 
@@ -150,9 +152,11 @@ func (p *PEPS) applyAdjacent(g4 *tensor.Dense, ra, ca, rb, cb int, opts UpdateOp
 func (p *PEPS) applyHorizontal(g4 *tensor.Dense, r, c int, opts UpdateOptions) float64 {
 	a, b := p.sites[r][c], p.sites[r][c+1]
 	var na, nb *tensor.Dense
+	var s []float64
+	telemetry.ClearPendingTrunc()
 	if opts.Method == UpdateDirect {
 		// A[a,b,c,x,p] B[e,x,f,g,q] G[i,j,p,q] -> [a,b,c,n,i] | [e,n,f,g,j]
-		na, nb, _ = einsumsvd.MustFactor(opts.strategy(), p.eng,
+		na, nb, s = einsumsvd.MustFactor(opts.strategy(), p.eng,
 			"abcxp,exfgq,ijpq->abcni|enfgj", opts.rank(), a, b, g4)
 	} else {
 		// Paper Algorithm 1, steps (1)->(2): QR with environment bonds as
@@ -160,12 +164,14 @@ func (p *PEPS) applyHorizontal(g4 *tensor.Dense, r, c int, opts UpdateOptions) f
 		qa, ra := p.eng.QRSplit(a, 3)                          // [a,b,c,k], [k,x,p]
 		qb, rb := p.eng.QRSplit(b.Transpose(0, 2, 3, 1, 4), 3) // rows (e,f,g): [e,f,g,l], [l,x,q]
 		// Step (2)->(4): einsumsvd on the small network.
-		rka, rkb, _ := einsumsvd.MustFactor(opts.strategy(), p.eng,
+		rka, rkb, sk := einsumsvd.MustFactor(opts.strategy(), p.eng,
 			"kxp,lxq,ijpq->kin|nlj", opts.rank(), ra, rb, g4)
+		s = sk
 		// Step (4)->(5): multiply the Q factors back.
 		na = p.eng.Einsum("abck,kin->abcni", qa, rka)
 		nb = p.eng.Einsum("efgl,nlj->enfgj", qb, rkb)
 	}
+	recordBondUpdate("h", r, c, len(s))
 	p.sites[r][c] = na
 	p.sites[r][c+1] = nb
 	if opts.Normalize {
@@ -179,24 +185,51 @@ func (p *PEPS) applyHorizontal(g4 *tensor.Dense, r, c int, opts UpdateOptions) f
 func (p *PEPS) applyVertical(g4 *tensor.Dense, r, c int, opts UpdateOptions) float64 {
 	a, b := p.sites[r][c], p.sites[r+1][c]
 	var na, nb *tensor.Dense
+	var s []float64
+	telemetry.ClearPendingTrunc()
 	if opts.Method == UpdateDirect {
 		// A[a,b,x,d,p] B[x,f,g,h,q] G[i,j,p,q] -> [a,b,n,d,i] | [n,f,g,h,j]
-		na, nb, _ = einsumsvd.MustFactor(opts.strategy(), p.eng,
+		na, nb, s = einsumsvd.MustFactor(opts.strategy(), p.eng,
 			"abxdp,xfghq,ijpq->abndi|nfghj", opts.rank(), a, b, g4)
 	} else {
 		qa, ra := p.eng.QRSplit(a.Transpose(0, 1, 3, 2, 4), 3) // rows (a,b,d): [a,b,d,k], [k,x,p]
 		qb, rb := p.eng.QRSplit(b.Transpose(1, 2, 3, 0, 4), 3) // rows (f,g,h): [f,g,h,l], [l,x,q]
-		rka, rkb, _ := einsumsvd.MustFactor(opts.strategy(), p.eng,
+		rka, rkb, sk := einsumsvd.MustFactor(opts.strategy(), p.eng,
 			"kxp,lxq,ijpq->kin|nlj", opts.rank(), ra, rb, g4)
+		s = sk
 		na = p.eng.Einsum("abdk,kin->abndi", qa, rka)
 		nb = p.eng.Einsum("fghl,nlj->nfghj", qb, rkb)
 	}
+	recordBondUpdate("v", r, c, len(s))
 	p.sites[r][c] = na
 	p.sites[r+1][c] = nb
 	if opts.Normalize {
 		return p.siteLogNorm(r, c) + p.siteLogNorm(r+1, c)
 	}
 	return 0
+}
+
+// recordBondUpdate publishes one two-site update's telemetry: the new
+// bond dimension as a per-bond labeled series plus a lattice-wide
+// histogram, and — when the factorization went through an explicit
+// truncated SVD on this goroutine — the per-bond discarded spectral
+// weight it stashed. Bonds are labeled by direction and the (row, col)
+// of the gate's first site. One atomic load when no listener is
+// attached.
+func recordBondUpdate(dir string, r, c, dim int) {
+	if !telemetry.Active() {
+		return
+	}
+	labels := []telemetry.Label{
+		{Key: "dir", Value: dir},
+		{Key: "row", Value: strconv.Itoa(r)},
+		{Key: "col", Value: strconv.Itoa(c)},
+	}
+	telemetry.Observe("peps.bond_dim", float64(dim), labels...)
+	telemetry.ObserveHist("peps.bond_dim_hist", telemetry.Pow2Bounds, float64(dim))
+	if te, ok := telemetry.TakePendingTrunc(); ok {
+		telemetry.Observe("peps.bond_trunc_error", te, labels...)
+	}
 }
 
 // normalizeSite rescales a site tensor to unit Frobenius norm, folding

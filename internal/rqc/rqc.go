@@ -11,7 +11,9 @@ package rqc
 import (
 	"math/rand"
 
+	"gokoala/internal/peps"
 	"gokoala/internal/quantum"
+	"gokoala/internal/telemetry"
 	"gokoala/internal/tensor"
 )
 
@@ -104,4 +106,31 @@ func RandomBits(rng *rand.Rand, n int) []int {
 		bits[i] = rng.Intn(2)
 	}
 	return bits
+}
+
+// Apply evolves state through the circuit gate by gate, publishing
+// per-gate progress telemetry (gate index, circuit size, current max
+// bond dimension) so a live watcher can follow the bond-dimension
+// growth of a deep circuit. stop, when non-nil, is polled between gates
+// for graceful interruption; Apply returns how many gates were applied
+// (len(c.Gates) on a full evolution).
+func Apply(state *peps.PEPS, c Circuit, opts peps.UpdateOptions, stop func() bool) int {
+	for i, g := range c.Gates {
+		if stop != nil && stop() {
+			telemetry.Publish("rqc.stop", i, nil)
+			return i
+		}
+		state.ApplyGate(g, opts)
+		if telemetry.Active() {
+			fields := map[string]float64{
+				"gate":        float64(i + 1),
+				"gates_total": float64(len(c.Gates)),
+				"max_bond":    float64(state.MaxBond()),
+			}
+			telemetry.Observe("rqc.gate", float64(i+1))
+			telemetry.Observe("rqc.max_bond", fields["max_bond"])
+			telemetry.Publish("rqc.gate", i+1, fields)
+		}
+	}
+	return len(c.Gates)
 }

@@ -1,0 +1,370 @@
+// Prometheus text exposition (version 0.0.4): the /metrics renderer and
+// a strict line parser. The parser is the validity oracle — unit tests,
+// `koala-obs watch`, and the telemetry-smoke CI gate all feed scraped
+// output back through ParseMetrics and fail on anything malformed, so
+// the renderer cannot drift from the format it claims.
+package telemetry
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"gokoala/internal/health"
+	"gokoala/internal/obs"
+)
+
+// MetricPrefix namespaces every exposed metric.
+const MetricPrefix = "koala_"
+
+// PromName rewrites a dotted internal metric name ("einsum.plan.hits")
+// to its exposed Prometheus name (koala_einsum_plan_hits).
+func PromName(name string) string {
+	var b strings.Builder
+	b.Grow(len(MetricPrefix) + len(name))
+	b.WriteString(MetricPrefix)
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9', c == '_', c == ':':
+			b.WriteByte(c)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// escapeLabel escapes a label value per the exposition format.
+func escapeLabel(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, "\n", `\n`)
+	v = strings.ReplaceAll(v, `"`, `\"`)
+	return v
+}
+
+func labelString(labels []Label, extra ...Label) string {
+	all := append(append([]Label(nil), labels...), extra...)
+	if len(all) == 0 {
+		return ""
+	}
+	parts := make([]string, len(all))
+	for i, l := range all {
+		parts[i] = fmt.Sprintf("%s=%q", l.Key, escapeLabel(l.Value))
+	}
+	return "{" + strings.Join(parts, ",") + "}"
+}
+
+func formatValue(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// typeLine emits the # TYPE header once per metric family.
+func typeLine(w io.Writer, seen map[string]bool, name, kind string) {
+	if !seen[name] {
+		fmt.Fprintf(w, "# TYPE %s %s\n", name, kind)
+		seen[name] = true
+	}
+}
+
+// WriteMetrics renders the full exposition: run info, process stats,
+// every telemetry series (last value as a gauge plus _sum/_count
+// aggregates) and histogram (cumulative le buckets), the obs
+// counter/gauge registry, the always-on health counters, and the einsum
+// plan-cache hit ratio.
+func WriteMetrics(w io.Writer) {
+	seen := map[string]bool{}
+
+	component, labels, start := RunInfo()
+	if component != "" {
+		ls := []Label{{"component", component}}
+		keys := make([]string, 0, len(labels))
+		for k := range labels {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			ls = append(ls, Label{k, labels[k]})
+		}
+		typeLine(w, seen, MetricPrefix+"run_info", "gauge")
+		fmt.Fprintf(w, "%srun_info%s 1\n", MetricPrefix, labelString(ls))
+	}
+	if !start.IsZero() {
+		typeLine(w, seen, MetricPrefix+"process_uptime_seconds", "gauge")
+		fmt.Fprintf(w, "%sprocess_uptime_seconds %s\n", MetricPrefix, formatValue(time.Since(start).Seconds()))
+	}
+	typeLine(w, seen, MetricPrefix+"go_goroutines", "gauge")
+	fmt.Fprintf(w, "%sgo_goroutines %d\n", MetricPrefix, runtime.NumGoroutine())
+
+	series, hists := Snapshot()
+	for _, s := range series {
+		name := PromName(s.Name)
+		typeLine(w, seen, name, "gauge")
+		ls := labelString(s.Labels)
+		fmt.Fprintf(w, "%s%s %s\n", name, ls, formatValue(s.Last))
+		fmt.Fprintf(w, "%s_sum%s %s\n", name, ls, formatValue(s.Sum))
+		fmt.Fprintf(w, "%s_count%s %d\n", name, ls, s.Count)
+	}
+	for _, h := range hists {
+		name := PromName(h.Name)
+		typeLine(w, seen, name, "histogram")
+		var cum int64
+		for i, b := range h.Bounds {
+			cum += h.Buckets[i]
+			fmt.Fprintf(w, "%s_bucket%s %d\n", name, labelString(h.Labels, Label{"le", formatValue(b)}), cum)
+		}
+		cum += h.Buckets[len(h.Bounds)]
+		fmt.Fprintf(w, "%s_bucket%s %d\n", name, labelString(h.Labels, Label{"le", "+Inf"}), cum)
+		fmt.Fprintf(w, "%s_sum%s %s\n", name, labelString(h.Labels), formatValue(h.Sum))
+		fmt.Fprintf(w, "%s_count%s %d\n", name, labelString(h.Labels), h.Count)
+	}
+
+	// The obs registry: tracing counters (flops, plan-cache hits, comm
+	// bytes, pool tasks) and gauges, live whenever obs collection is on —
+	// cliutil enables it with zero sinks for any -listen run. Some
+	// publishers mirror a value into both registries under one name
+	// (svd.trunc_error is a telemetry series and an obs gauge); the
+	// telemetry family above already carries it with more structure, so
+	// an obs name that collides with an emitted family is skipped rather
+	// than duplicated.
+	var hits, misses float64
+	for _, m := range obs.Metrics() {
+		switch m.Name {
+		case "einsum.plan.hits":
+			hits = m.Value
+		case "einsum.plan.misses":
+			misses = m.Value
+		}
+		name := PromName(m.Name)
+		if seen[name] {
+			continue
+		}
+		kind := "counter"
+		if m.Kind == "gauge" {
+			kind = "gauge"
+		}
+		typeLine(w, seen, name, kind)
+		fmt.Fprintf(w, "%s %s\n", name, formatValue(m.Value))
+	}
+	ratio := 0.0
+	if hits+misses > 0 {
+		ratio = hits / (hits + misses)
+	}
+	typeLine(w, seen, MetricPrefix+"einsum_plan_hit_ratio", "gauge")
+	fmt.Fprintf(w, "%seinsum_plan_hit_ratio %s\n", MetricPrefix, formatValue(ratio))
+
+	// Health counters are package-local atomics, alive under every
+	// policy and independent of obs collection.
+	for _, c := range []struct {
+		name string
+		v    int64
+	}{
+		{"health_nan_detected", health.NaNDetected()},
+		{"health_svd_fallbacks", health.SVDFallbacks()},
+		{"health_gram_fallbacks", health.GramFallbacks()},
+		{"health_nonconverged", health.Nonconverged()},
+		{"health_checkpoint_failures", health.CheckpointFailures()},
+	} {
+		name := MetricPrefix + c.name
+		typeLine(w, seen, name, "counter")
+		fmt.Fprintf(w, "%s %d\n", name, c.v)
+	}
+}
+
+// --- parser / validator ---
+
+// Sample is one parsed exposition sample.
+type Sample struct {
+	// Name is the metric name without labels.
+	Name string
+	// Labels is the raw label block as written ("" or "{k=\"v\",...}").
+	Labels string
+	Value  float64
+}
+
+// Key is the map key form: name plus raw label block.
+func (s Sample) Key() string { return s.Name + s.Labels }
+
+func validName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		ok := c == '_' || c == ':' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+		if i > 0 {
+			ok = ok || (c >= '0' && c <= '9')
+		}
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+var validTypes = map[string]bool{
+	"counter": true, "gauge": true, "histogram": true, "summary": true, "untyped": true,
+}
+
+// ParseMetrics strictly parses Prometheus text exposition, returning
+// samples keyed by name+labels. It rejects malformed metric names, label
+// syntax, values, TYPE lines, samples of a family appearing before its
+// TYPE line, and duplicate samples — the failure modes a drifting
+// renderer would produce.
+func ParseMetrics(r io.Reader) (map[string]float64, error) {
+	out := map[string]float64{}
+	typed := map[string]string{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	lineno := 0
+	for sc.Scan() {
+		lineno++
+		line := sc.Text()
+		if strings.TrimSpace(line) == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			fields := strings.Fields(line)
+			if len(fields) >= 2 && fields[1] == "TYPE" {
+				if len(fields) != 4 {
+					return nil, fmt.Errorf("line %d: malformed TYPE line %q", lineno, line)
+				}
+				if !validName(fields[2]) {
+					return nil, fmt.Errorf("line %d: invalid metric name %q in TYPE line", lineno, fields[2])
+				}
+				if !validTypes[fields[3]] {
+					return nil, fmt.Errorf("line %d: unknown metric type %q", lineno, fields[3])
+				}
+				if _, dup := typed[fields[2]]; dup {
+					return nil, fmt.Errorf("line %d: duplicate TYPE line for %q", lineno, fields[2])
+				}
+				typed[fields[2]] = fields[3]
+			}
+			continue
+		}
+		s, err := parseSample(line)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %v", lineno, err)
+		}
+		// A typed family must declare itself before its first sample.
+		// _bucket/_sum/_count samples belong to the family they suffix
+		// (histograms, and the _sum/_count aggregates of gauge series).
+		base := s.Name
+		if _, ok := typed[base]; !ok {
+			for _, suf := range []string{"_bucket", "_sum", "_count"} {
+				if trimmed := strings.TrimSuffix(s.Name, suf); trimmed != s.Name {
+					if _, ok := typed[trimmed]; ok {
+						base = trimmed
+						break
+					}
+				}
+			}
+		}
+		if _, ok := typed[base]; !ok {
+			return nil, fmt.Errorf("line %d: sample %q before its TYPE line", lineno, s.Name)
+		}
+		if _, dup := out[s.Key()]; dup {
+			return nil, fmt.Errorf("line %d: duplicate sample %q", lineno, s.Key())
+		}
+		out[s.Key()] = s.Value
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// parseSample parses `name[{labels}] value [timestamp]`.
+func parseSample(line string) (Sample, error) {
+	var s Sample
+	rest := line
+	// Name runs to '{' or whitespace.
+	end := strings.IndexAny(rest, "{ \t")
+	if end < 0 {
+		return s, fmt.Errorf("malformed sample %q", line)
+	}
+	s.Name = rest[:end]
+	if !validName(s.Name) {
+		return s, fmt.Errorf("invalid metric name %q", s.Name)
+	}
+	rest = rest[end:]
+	if strings.HasPrefix(rest, "{") {
+		close := parseLabelBlock(rest)
+		if close < 0 {
+			return s, fmt.Errorf("malformed label block in %q", line)
+		}
+		s.Labels = rest[:close+1]
+		rest = rest[close+1:]
+	}
+	fields := strings.Fields(rest)
+	if len(fields) < 1 || len(fields) > 2 {
+		return s, fmt.Errorf("malformed sample value in %q", line)
+	}
+	v, err := strconv.ParseFloat(fields[0], 64)
+	if err != nil {
+		return s, fmt.Errorf("bad value %q: %v", fields[0], err)
+	}
+	s.Value = v
+	if len(fields) == 2 {
+		if _, err := strconv.ParseInt(fields[1], 10, 64); err != nil {
+			return s, fmt.Errorf("bad timestamp %q", fields[1])
+		}
+	}
+	return s, nil
+}
+
+// parseLabelBlock validates a `{k="v",...}` block starting at s[0]=='{'
+// and returns the index of its closing brace, or -1 when malformed.
+func parseLabelBlock(s string) int {
+	i := 1
+	for {
+		if i < len(s) && s[i] == '}' {
+			return i
+		}
+		// label name
+		start := i
+		for i < len(s) && (s[i] == '_' || (s[i] >= 'a' && s[i] <= 'z') || (s[i] >= 'A' && s[i] <= 'Z') || (i > start && s[i] >= '0' && s[i] <= '9')) {
+			i++
+		}
+		if i == start || i >= len(s) || s[i] != '=' {
+			return -1
+		}
+		i++
+		if i >= len(s) || s[i] != '"' {
+			return -1
+		}
+		i++
+		for i < len(s) && s[i] != '"' {
+			if s[i] == '\\' {
+				i++
+			}
+			i++
+		}
+		if i >= len(s) {
+			return -1
+		}
+		i++ // closing quote
+		if i < len(s) && s[i] == ',' {
+			i++
+			continue
+		}
+		if i < len(s) && s[i] == '}' {
+			return i
+		}
+		return -1
+	}
+}

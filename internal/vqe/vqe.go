@@ -17,6 +17,7 @@ import (
 	"gokoala/internal/peps"
 	"gokoala/internal/quantum"
 	"gokoala/internal/statevector"
+	"gokoala/internal/telemetry"
 )
 
 // Ansatz describes the parameterized circuit.
@@ -101,6 +102,11 @@ type Options struct {
 	// the number of completed rounds. Crash-injection tests use it to kill
 	// the process mid-run.
 	AfterRound func(round int)
+	// Stop, when non-nil, is polled after each optimizer round; when it
+	// returns true the optimization writes a final checkpoint (when
+	// CheckpointPath is set) and returns early with the best point so
+	// far. cliutil's SIGINT handler drives it.
+	Stop func() bool
 }
 
 // Result reports the optimization outcome.
@@ -182,11 +188,14 @@ func Run(a Ansatz, obs *quantum.Observable, opts Options) Result {
 		}
 	}
 	objective := func(theta []float64) float64 {
+		var e float64
 		if opts.Rank <= 0 {
-			return EnergyStateVector(a, obs, theta)
+			e = EnergyStateVector(a, obs, theta)
+		} else {
+			e = EnergyPEPS(a, obs, theta, opts)
+			health.CheckFloat("vqe.energy", e)
 		}
-		e := EnergyPEPS(a, obs, theta, opts)
-		health.CheckFloat("vqe.energy", e)
+		telemetry.Observe("vqe.eval_energy_per_site", e)
 		return e
 	}
 	if opts.From == nil {
@@ -228,8 +237,32 @@ func Run(a Ansatz, obs *quantum.Observable, opts Options) Result {
 				Seed:    opts.Seed,
 			})
 		}
+		if telemetry.Active() {
+			telemetry.Observe("vqe.energy_per_site", out.EnergyPerSite)
+			telemetry.Observe("vqe.round", float64(done))
+			telemetry.Publish("vqe.round", done, map[string]float64{
+				"round":           float64(done),
+				"rounds_total":    float64(opts.Restarts),
+				"energy_per_site": out.EnergyPerSite,
+				"evals":           float64(out.Evals),
+			})
+		}
 		if opts.AfterRound != nil {
 			opts.AfterRound(done)
+		}
+		if opts.Stop != nil && opts.Stop() {
+			if opts.CheckpointPath != "" && done%opts.CheckpointEvery != 0 && done != opts.Restarts {
+				_ = checkpoint.SaveVQE(opts.CheckpointPath, &checkpoint.VQECheckpoint{
+					Round:   done,
+					Evals:   out.Evals,
+					Energy:  out.EnergyPerSite,
+					Theta:   out.Theta,
+					History: out.History,
+					Seed:    opts.Seed,
+				})
+			}
+			telemetry.Publish("vqe.stop", done, nil)
+			break
 		}
 	}
 	return out
