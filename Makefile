@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet check bench bench-smoke bench-sched bench-resume bench-compare telemetry-smoke clean
+.PHONY: all build test race vet check bench bench-smoke bench-sched bench-resume bench-compare telemetry-smoke sym-smoke clean
 
 all: check
 
@@ -107,12 +107,26 @@ bench-resume:
 bench-compare:
 	@tmp=$$(mktemp -d); trap "rm -rf $$tmp" EXIT; set -e; \
 	$(GO) build -o $$tmp/koala-bench ./cmd/koala-bench; \
-	$$tmp/koala-bench -compare . -metrics bench-compare-trace.jsonl fig7a fig7b; \
+	$$tmp/koala-bench -compare . -metrics bench-compare-trace.jsonl fig7a fig7b sym; \
 	sed -E 's/"flops": [0-9]+/"flops": 1/' BENCH_fig7a.json > $$tmp/BENCH_fig7a.json; \
 	status=0; $$tmp/koala-bench -compare $$tmp fig7a > $$tmp/inject.txt 2>&1 || status=$$?; \
 	if [ $$status -eq 0 ]; then \
 		echo "bench-compare: gate missed an injected flops regression"; exit 1; fi; \
 	echo "bench-compare: baselines pass, injected regression caught (exit $$status)"
+
+# Block-sparse acceptance smoke: run the sym suite (dense vs
+# block-sparse ITE at equal bond dimension) and require every model's
+# acceptance line — >=2x GEMM-flop reduction, reduced state memory,
+# energies within 1e-10 — to PASS, with BENCH_sym.json written.
+sym-smoke:
+	@tmp=$$(mktemp -d); trap "rm -rf $$tmp" EXIT; set -e; \
+	$(GO) build -o $$tmp/koala-bench ./cmd/koala-bench; \
+	$$tmp/koala-bench -scaling=false -json $$tmp sym > $$tmp/out.txt; \
+	test -f $$tmp/BENCH_sym.json; \
+	if ! grep -q "^sym acceptance tfi-dual-z2: .*PASS$$" $$tmp/out.txt || \
+	   ! grep -q "^sym acceptance j1j2-u1: .*PASS$$" $$tmp/out.txt; then \
+		echo "sym-smoke: acceptance failed"; cat $$tmp/out.txt; exit 1; fi; \
+	echo "sym-smoke: block-sparse acceptance passed on both models"
 
 clean:
 	$(GO) clean ./...

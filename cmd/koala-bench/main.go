@@ -7,7 +7,7 @@
 //	koala-bench all
 //
 // Experiments: table2 fig7a fig7b fig8a fig8b fig9 fig10 fig11 fig12
-// fig13a fig13b fig14. The -full flag selects larger sweeps closer to the
+// fig13a fig13b fig14 ablation sym. The -full flag selects larger sweeps closer to the
 // paper's parameters (minutes to hours on one core); the default sizes
 // finish quickly and preserve the swept shapes.
 //
@@ -60,7 +60,7 @@ func main() {
 		os.Exit(2)
 	}
 	if len(args) == 1 && args[0] == "all" {
-		args = []string{"table2", "fig7a", "fig7b", "fig8a", "fig8b", "fig9", "fig10", "fig11", "fig12", "fig13a", "fig13b", "fig14", "ablation"}
+		args = []string{"table2", "fig7a", "fig7b", "fig8a", "fig8b", "fig9", "fig10", "fig11", "fig12", "fig13a", "fig13b", "fig14", "ablation", "sym"}
 	}
 
 	if *traceFile != "" && *traceFile == *metricsFile {
@@ -289,6 +289,13 @@ func suite(name string, full bool) (interface{}, func(io.Writer)) {
 			cfg.MaxIter = 200
 		}
 		return cfg, func(w io.Writer) { bench.ExperimentFig14(w, cfg) }
+	case "sym":
+		cfg := bench.DefaultSymConfig()
+		if full {
+			cfg.Rows, cfg.Cols = 3, 3
+			cfg.Steps = 12
+		}
+		return cfg, func(w io.Writer) { bench.ExperimentSym(w, cfg) }
 	case "ablation":
 		cfg := bench.AblationConfig{Seed: 11}
 		return cfg, func(w io.Writer) {
@@ -355,5 +362,5 @@ const divider = "===============================================================
 
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage: koala-bench [-full] [-trace file] [-metrics file] [-json dir] [-compare dir] <experiment>...
-experiments: table2 fig7a fig7b fig8a fig8b fig9 fig10 fig11 fig12 fig13a fig13b fig14 ablation | all`)
+experiments: table2 fig7a fig7b fig8a fig8b fig9 fig10 fig11 fig12 fig13a fig13b fig14 ablation sym | all`)
 }

@@ -37,6 +37,7 @@ func main() {
 	steps := flag.Int("steps", 60, "number of Trotter sweeps")
 	every := flag.Int("every", 10, "measure energy every k steps")
 	seed := cliutil.SeedFlag(1)
+	sym := cliutil.SymFlag()
 	explicit := flag.Bool("explicit", false, "use explicit SVD (BMPS) instead of implicit randomized SVD (IBMPS)")
 	reference := flag.Bool("reference", true, "also compute the exact reference when the lattice is small enough")
 	healthFlag := cliutil.HealthFlag()
@@ -68,12 +69,31 @@ func main() {
 		_ = tel.Close()
 	})
 
+	symOn, symMod, err := cliutil.ParseSym(*sym)
+	if err != nil {
+		log.Fatal(err)
+	}
 	var obs *quantum.Observable
 	switch *model {
 	case "j1j2":
-		obs = quantum.J1J2Heisenberg(*rows, *cols, quantum.PaperJ1J2Params())
+		if symOn {
+			// The U(1)-conserving form: combined (XX+YY)+ZZ pair terms and
+			// a z-only field. Z2 also conserves it (parity is S_z mod 2).
+			obs = quantum.J1J2HeisenbergU1(*rows, *cols, quantum.PaperJ1J2ParamsU1())
+		} else {
+			obs = quantum.J1J2Heisenberg(*rows, *cols, quantum.PaperJ1J2Params())
+		}
 	case "tfi":
-		obs = quantum.TransverseFieldIsing(*rows, *cols, -1, -3.5)
+		if symOn {
+			if symMod != 2 {
+				log.Fatalf("-sym %s is not conserved by the TFI model; its X X terms conserve only the Z2 parity (-sym z2)", *sym)
+			}
+			// The Hadamard-dual frame: same spectrum, every gate conserves
+			// bit parity, and |0...0> here is |+...+> in the original frame.
+			obs = quantum.TransverseFieldIsingDual(*rows, *cols, -1, -3.5)
+		} else {
+			obs = quantum.TransverseFieldIsing(*rows, *cols, -1, -3.5)
+		}
 	default:
 		log.Fatalf("unknown model %q", *model)
 	}
@@ -120,8 +140,10 @@ func main() {
 		}
 	}
 
-	state := ite.PlusState(peps.ComputationalZeros(eng, *rows, *cols))
-	res := ite.Evolve(state, obs, ite.Options{
+	if from != nil && from.SymState != nil && !symOn {
+		log.Fatalf("checkpoint %s holds a block-sparse state; rerun with -sym", *ck.Path)
+	}
+	opts := ite.Options{
 		Tau:             *tau,
 		Steps:           *steps,
 		EvolutionRank:   *r,
@@ -135,7 +157,29 @@ func main() {
 		From:            from,
 		AfterStep:       afterStep,
 		Stop:            cliutil.StopRequested,
-	})
+	}
+	var res ite.Result
+	if symOn {
+		se, ok := backend.SymOf(eng)
+		if !ok {
+			log.Fatalf("engine %s has no block-sparse kernels", eng.Name())
+		}
+		var bits []int
+		if *model == "j1j2" {
+			// The Neel pattern pins the U(1) run to the S_z = 0 sector; the
+			// TFI dual frame starts from |0...0> (= |+...+> undualized).
+			bits = quantum.NeelBits(*rows, *cols)
+		}
+		state := peps.SymComputationalBasis(se, symMod, *rows, *cols, bits)
+		fmt.Printf("symmetric backend: -sym %s, initial blocks %d\n", *sym, state.NumBlocks())
+		res = ite.EvolveSym(state, obs, opts)
+		if res.FellBack {
+			fmt.Println("symmetric backend: circuit does not conserve charge; fell back to dense evolution")
+		}
+	} else {
+		state := ite.PlusState(peps.ComputationalZeros(eng, *rows, *cols))
+		res = ite.Evolve(state, obs, opts)
+	}
 	if cliutil.StopRequested() {
 		fmt.Printf("interrupted: stopped gracefully after %d measured point(s)\n", len(res.Energies))
 	}

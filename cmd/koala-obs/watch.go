@@ -222,6 +222,9 @@ func render(w io.Writer, snap *watchSnapshot, clear bool) {
 		{"vqe eval energy", "koala_vqe_eval_energy_per_site"},
 		{"trunc error (svd)", "koala_svd_trunc_error"},
 		{"plan hit ratio", "koala_einsum_plan_hit_ratio"},
+		{"flops saved (sym)", "koala_einsum_flops_saved_ratio"},
+		{"sym sectors", "koala_einsum_sym_sectors"},
+		{"sym state bytes", "koala_peps_sym_state_bytes"},
 		{"goroutines", "koala_go_goroutines"},
 	} {
 		if v, ok := snap.Metrics[m.name]; ok {

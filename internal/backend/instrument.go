@@ -37,14 +37,22 @@ type Instrumented struct {
 }
 
 // Instrument wraps an engine with observability instrumentation.
-// Wrapping an already-instrumented engine returns it unchanged.
+// Wrapping an already-instrumented engine returns it unchanged. Engines
+// with block-sparse kernels get the sym-capable wrapper so SymOf still
+// detects the capability through the instrumentation.
 func Instrument(e Engine) Engine {
 	if ie, ok := e.(*Instrumented); ok {
 		return ie
 	}
+	if ise, ok := e.(*InstrumentedSym); ok {
+		return ise
+	}
 	ie := &Instrumented{inner: e}
 	if d, ok := e.(*Dist); ok {
 		ie.grid = d.Grid
+	}
+	if se, ok := e.(SymEngine); ok {
+		return &InstrumentedSym{Instrumented: ie, symInner: se}
 	}
 	return ie
 }

@@ -1,0 +1,42 @@
+package backend
+
+import (
+	"gokoala/internal/einsum"
+	"gokoala/internal/linalg"
+	"gokoala/internal/tensor"
+)
+
+// SymEngine is the optional capability interface for engines that can
+// execute kernels on block-sparse symmetric tensors directly, block by
+// block. Engines without it still run symmetric workloads — callers
+// detect the capability with SymOf and otherwise embed to dense.
+type SymEngine interface {
+	Engine
+	// SymEinsum contracts a network of block-sparse tensors.
+	SymEinsum(spec string, ops ...*tensor.Sym) *tensor.Sym
+	// SymQRSplit factors t (first leftAxes legs as rows) sector by
+	// sector into an isometry Q and a factor R joined by a new bond leg.
+	SymQRSplit(t *tensor.Sym, leftAxes int) (q, r *tensor.Sym)
+	// SymSVDSplit factors t into U, singular values, and V† with the
+	// retained rank chosen globally across charge sectors.
+	SymSVDSplit(t *tensor.Sym, leftAxes, rank int) (u *tensor.Sym, s []float64, vh *tensor.Sym)
+}
+
+// SymOf reports whether e supports block-sparse kernels, unwrapping the
+// capability if so.
+func SymOf(e Engine) (SymEngine, bool) {
+	se, ok := e.(SymEngine)
+	return se, ok
+}
+
+func (*Dense) SymEinsum(spec string, ops ...*tensor.Sym) *tensor.Sym {
+	return einsum.MustContractSym(spec, ops...)
+}
+
+func (*Dense) SymQRSplit(t *tensor.Sym, leftAxes int) (*tensor.Sym, *tensor.Sym) {
+	return linalg.SymQRSplit(t, leftAxes)
+}
+
+func (*Dense) SymSVDSplit(t *tensor.Sym, leftAxes, rank int) (*tensor.Sym, []float64, *tensor.Sym) {
+	return linalg.SymSVDSplit(t, leftAxes, rank)
+}

@@ -67,6 +67,9 @@ type SuiteResult struct {
 	PeakBytes int64 `json:"peak_bytes"`
 	// Health records the numerical-health counters the suite tripped.
 	Health HealthCounters `json:"health"`
+	// Sym carries the per-model dense-versus-block-sparse comparison of
+	// the sym suite (nil for every other suite).
+	Sym *SymSuiteDetail `json:"sym,omitempty"`
 }
 
 // HealthCounters is the per-suite snapshot of the numerical-health
@@ -104,6 +107,9 @@ func CollectSuiteMetrics(res *SuiteResult) {
 	res.GroupWaitSeconds = obs.MetricValueOf("pool.group.wait_seconds")
 	res.TaskCount = int64(obs.MetricValueOf("pool.task.count"))
 	res.PeakBytes = obs.PeakBytes()
+	if d := TakeSymDetail(); d != nil {
+		res.Sym = d
+	}
 	res.Health = HealthCounters{
 		NaNDetected:        int64(obs.MetricValueOf("health.nan_detected")),
 		SVDFallbacks:       int64(obs.MetricValueOf("health.svd_fallbacks")),

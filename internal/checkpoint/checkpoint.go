@@ -31,6 +31,11 @@ const (
 	iteMagic = "KOIT"
 	vqeMagic = "KOVQ"
 	version  = 1
+	// iteVersionSym is the ITE record version that adds a state-kind
+	// flag byte (0 dense, 1 block-sparse) before the serialized state.
+	// Dense checkpoints keep writing version 1, so their bytes are
+	// unchanged; only symmetric runs emit the new version.
+	iteVersionSym = 2
 
 	// maxSliceLen bounds trace-slice lengths during load, rejecting
 	// corrupt headers before allocation.
@@ -96,17 +101,30 @@ type ITECheckpoint struct {
 	// Energies and MeasuredAt are the trace recorded so far.
 	Energies   []float64
 	MeasuredAt []int
-	// State is the evolved PEPS (including LogScale).
+	// State is the evolved PEPS (including LogScale). Exactly one of
+	// State and SymState is set.
 	State *peps.PEPS
+	// SymState is the evolved block-sparse PEPS of a symmetric run.
+	SymState *peps.SymPEPS
 }
 
-// SaveITE atomically writes an ITE checkpoint.
+// SaveITE atomically writes an ITE checkpoint. Dense states use the
+// original version-1 layout byte for byte; block-sparse states bump the
+// record to version 2, which inserts a state-kind flag byte before the
+// serialized state.
 func SaveITE(path string, c *ITECheckpoint) error {
 	return WriteAtomic(path, func(w io.Writer) error {
+		if (c.State == nil) == (c.SymState == nil) {
+			return fmt.Errorf("ite checkpoint needs exactly one of State and SymState")
+		}
 		if _, err := io.WriteString(w, iteMagic); err != nil {
 			return err
 		}
-		hdr := []uint64{version, uint64(c.Step), uint64(c.Seed), uint64(len(c.Energies))}
+		v := uint64(version)
+		if c.SymState != nil {
+			v = iteVersionSym
+		}
+		hdr := []uint64{v, uint64(c.Step), uint64(c.Seed), uint64(len(c.Energies))}
 		if err := binary.Write(w, binary.LittleEndian, hdr); err != nil {
 			return err
 		}
@@ -122,6 +140,12 @@ func SaveITE(path string, c *ITECheckpoint) error {
 		}
 		if err := binary.Write(w, binary.LittleEndian, at); err != nil {
 			return err
+		}
+		if c.SymState != nil {
+			if _, err := w.Write([]byte{1}); err != nil {
+				return err
+			}
+			return c.SymState.Save(w)
 		}
 		return c.State.Save(w)
 	})
@@ -142,7 +166,7 @@ func LoadITE(path string, eng backend.Engine) (*ITECheckpoint, error) {
 	if err := binary.Read(f, binary.LittleEndian, &hdr); err != nil {
 		return nil, fmt.Errorf("checkpoint: ite header: %w", err)
 	}
-	if hdr[0] != version {
+	if hdr[0] != version && hdr[0] != iteVersionSym {
 		return nil, fmt.Errorf("checkpoint: unsupported ite version %d", hdr[0])
 	}
 	n := hdr[3]
@@ -172,6 +196,28 @@ func LoadITE(path string, eng backend.Engine) (*ITECheckpoint, error) {
 			return nil, fmt.Errorf("checkpoint: measurement %d at step %d beyond checkpoint step %d", i, s, c.Step)
 		}
 		c.MeasuredAt[i] = int(s)
+	}
+	if hdr[0] == iteVersionSym {
+		var kind [1]byte
+		if _, err := io.ReadFull(f, kind[:]); err != nil {
+			return nil, fmt.Errorf("checkpoint: ite state kind: %w", err)
+		}
+		switch kind[0] {
+		case 0:
+			c.State, err = peps.Load(f, eng)
+		case 1:
+			se, ok := backend.SymOf(eng)
+			if !ok {
+				return nil, fmt.Errorf("checkpoint: %s holds a block-sparse state but engine %s has no block-sparse kernels", path, eng.Name())
+			}
+			c.SymState, err = peps.LoadSym(f, se)
+		default:
+			return nil, fmt.Errorf("checkpoint: unknown ite state kind %d", kind[0])
+		}
+		if err != nil {
+			return nil, err
+		}
+		return c, nil
 	}
 	c.State, err = peps.Load(f, eng)
 	if err != nil {

@@ -23,6 +23,29 @@ func SeedFlag(def int64) *int64 {
 	return flag.Int64("seed", def, "random seed")
 }
 
+// SymFlag registers the standard -sym flag selecting the block-sparse
+// symmetric tensor backend. Parse its value with ParseSym after
+// flag.Parse.
+func SymFlag() *string {
+	return flag.String("sym", "none",
+		"charge symmetry for the block-sparse backend: u1 | z2 | none")
+}
+
+// ParseSym maps a -sym flag value to (enabled, modulus): "u1" enables
+// the particle-number symmetry (modulus 0), "z2" the parity symmetry
+// (modulus 2), "none" or "" disables the symmetric backend.
+func ParseSym(s string) (enabled bool, mod int, err error) {
+	switch s {
+	case "", "none":
+		return false, 0, nil
+	case "u1":
+		return true, 0, nil
+	case "z2":
+		return true, 2, nil
+	}
+	return false, 0, fmt.Errorf("cliutil: unknown symmetry %q (want u1|z2|none)", s)
+}
+
 // WorkersFlag registers the standard -workers flag. Call ApplyWorkers
 // with its value after flag.Parse.
 func WorkersFlag() *int {

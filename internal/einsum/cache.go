@@ -46,10 +46,22 @@ var (
 	planIndex = map[string]*list.Element{}
 )
 
-// planKey encodes the spec and every operand shape. Ranks are implied by
-// the spec, so flat dimension lists with separators are unambiguous.
-func planKey(spec string, ops []*tensor.Dense) string {
-	buf := make([]byte, 0, len(spec)+16*len(ops))
+// Plan kinds namespace the cache by the engine/tensor flavor that
+// compiled the plan. Dense contractions and the per-block contractions
+// of the block-sparse path can present identical (spec, shapes)
+// signatures; tagging the key keeps their plans from colliding if the
+// two lowerings ever diverge.
+const (
+	planKindDense byte = 'd'
+	planKindSym   byte = 's'
+)
+
+// planKey encodes the plan kind, the spec, and every operand shape.
+// Ranks are implied by the spec, so flat dimension lists with separators
+// are unambiguous.
+func planKey(kind byte, spec string, ops []*tensor.Dense) string {
+	buf := make([]byte, 0, 2+len(spec)+16*len(ops))
+	buf = append(buf, kind, '!')
 	buf = append(buf, spec...)
 	for _, op := range ops {
 		buf = append(buf, '|')
@@ -61,12 +73,12 @@ func planKey(spec string, ops []*tensor.Dense) string {
 	return string(buf)
 }
 
-// cachedPlan returns the compiled plan for (spec, operand shapes),
-// compiling and inserting it on a miss. Compilation happens outside the
-// lock; concurrent first calls may compile twice, and the incumbent
-// entry wins so all callers share one scratch pool.
-func cachedPlan(spec string, ops []*tensor.Dense) (*Plan, error) {
-	key := planKey(spec, ops)
+// cachedPlan returns the compiled plan for (kind, spec, operand
+// shapes), compiling and inserting it on a miss. Compilation happens
+// outside the lock; concurrent first calls may compile twice, and the
+// incumbent entry wins so all callers share one scratch pool.
+func cachedPlan(kind byte, spec string, ops []*tensor.Dense) (*Plan, error) {
+	key := planKey(kind, spec, ops)
 	planMu.Lock()
 	if el, ok := planIndex[key]; ok {
 		planLRU.MoveToFront(el)

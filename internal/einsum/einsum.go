@@ -120,7 +120,7 @@ func MustContract(spec string, ops ...*tensor.Dense) *tensor.Dense {
 // absorption, expectation sweeps — pay for parsing, path search, and
 // permutation layout only once.
 func ContractWithHooks(spec string, ops []*tensor.Dense, h Hooks) (*tensor.Dense, error) {
-	p, err := cachedPlan(spec, ops)
+	p, err := cachedPlan(planKindDense, spec, ops)
 	if err != nil {
 		return nil, err
 	}

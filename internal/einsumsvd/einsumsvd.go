@@ -120,7 +120,18 @@ type splitSpec struct {
 	free       byte // an unused letter for block-vector columns
 }
 
-func parse(spec string, ops []*tensor.Dense) (*splitSpec, error) {
+func shapesOf(ops []*tensor.Dense) [][]int {
+	shapes := make([][]int, len(ops))
+	for i, op := range ops {
+		shapes[i] = op.Shape()
+	}
+	return shapes
+}
+
+// parse works from operand shapes alone so the dense and block-sparse
+// factor paths share it; for block-sparse operands the shapes are the
+// per-leg total dimensions.
+func parse(spec string, shapes [][]int) (*splitSpec, error) {
 	arrow := strings.Index(spec, "->")
 	if arrow < 0 {
 		return nil, fmt.Errorf("spec %q missing \"->\"", spec)
@@ -134,19 +145,19 @@ func parse(spec string, ops []*tensor.Dense) (*splitSpec, error) {
 
 	inLetters := map[byte]bool{}
 	subsList := strings.Split(inputs, ",")
-	if len(subsList) != len(ops) {
-		return nil, fmt.Errorf("spec %q has %d inputs but %d operands", spec, len(subsList), len(ops))
+	if len(subsList) != len(shapes) {
+		return nil, fmt.Errorf("spec %q has %d inputs but %d operands", spec, len(subsList), len(shapes))
 	}
 	dims := map[byte]int{}
 	for i, subs := range subsList {
 		subs = strings.TrimSpace(subs)
-		if len(subs) != ops[i].Rank() {
-			return nil, fmt.Errorf("operand %d rank %d does not match subscript %q", i, ops[i].Rank(), subs)
+		if len(subs) != len(shapes[i]) {
+			return nil, fmt.Errorf("operand %d rank %d does not match subscript %q", i, len(shapes[i]), subs)
 		}
 		for j := 0; j < len(subs); j++ {
 			c := subs[j]
 			inLetters[c] = true
-			d := ops[i].Dim(j)
+			d := shapes[i][j]
 			if prev, ok := dims[c]; ok && prev != d {
 				return nil, fmt.Errorf("letter %q has conflicting dimensions %d and %d", string(c), prev, d)
 			}
@@ -294,7 +305,7 @@ func permuteTo(t *tensor.Dense, from, to string) *tensor.Dense {
 
 // Factor implements Strategy for the explicit contract-then-SVD path.
 func (e Explicit) Factor(eng backend.Engine, spec string, rank int, ops ...*tensor.Dense) (*tensor.Dense, *tensor.Dense, []float64, error) {
-	p, err := parse(spec, ops)
+	p, err := parse(spec, shapesOf(ops))
 	if err != nil {
 		return nil, nil, nil, err
 	}
@@ -354,7 +365,7 @@ func (ir ImplicitRand) Factor(eng backend.Engine, spec string, rank int, ops ...
 	if ir.Rng == nil {
 		return nil, nil, nil, fmt.Errorf("ImplicitRand requires a Rng")
 	}
-	p, err := parse(spec, ops)
+	p, err := parse(spec, shapesOf(ops))
 	if err != nil {
 		return nil, nil, nil, err
 	}

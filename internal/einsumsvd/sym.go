@@ -1,0 +1,125 @@
+package einsumsvd
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"gokoala/internal/backend"
+	"gokoala/internal/tensor"
+)
+
+// SymFactor evaluates a split spec over block-sparse operands: contract
+// the network block by block, then factor sector by sector with a
+// globally-truncated SVD. It is the explicit contract-then-SVD strategy
+// for symmetric tensors — randomized sketching mixes charge sectors, so
+// there is no implicit variant. The sigma mode scales the new bond the
+// same way the dense assemble step does, per-column on the first factor
+// and per-row on the second, with the singular values in the bond's
+// canonical order (ascending sector charge, descending within a sector).
+func SymFactor(eng backend.SymEngine, mode SigmaMode, spec string, rank int, ops ...*tensor.Sym) (a, b *tensor.Sym, s []float64, err error) {
+	shapes := make([][]int, len(ops))
+	for i, op := range ops {
+		shapes[i] = op.Shape()
+	}
+	p, err := parse(spec, shapes)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("einsumsvd: sym factor %q: %v", spec, r)
+		}
+	}()
+	full := eng.SymEinsum(p.inputs+"->"+p.row+p.col, ops...)
+	u, s, vh := eng.SymSVDSplit(full, len(p.row), rank)
+	k := len(s)
+	var uScale, vScale []float64
+	switch mode {
+	case SigmaRight:
+		uScale, vScale = ones(k), s
+	case SigmaLeft:
+		uScale, vScale = s, ones(k)
+	case SigmaNone:
+		uScale, vScale = ones(k), ones(k)
+	case SigmaBoth:
+		uScale, vScale = make([]float64, k), make([]float64, k)
+		for i, x := range s {
+			r := math.Sqrt(x)
+			uScale[i], vScale[i] = r, r
+		}
+	}
+	scaleSymBond(u, u.Rank()-1, uScale)
+	scaleSymBond(vh, 0, vScale)
+	a = symPermuteTo(u, p.row+string(p.newLetter), p.out1)
+	b = symPermuteTo(vh, string(p.newLetter)+p.col, p.out2)
+	return a, b, s, nil
+}
+
+// MustSymFactor is the panic-on-error form of SymFactor for constant
+// specs in library code.
+func MustSymFactor(eng backend.SymEngine, mode SigmaMode, spec string, rank int, ops ...*tensor.Sym) (*tensor.Sym, *tensor.Sym, []float64) {
+	a, b, s, err := SymFactor(eng, mode, spec, rank, ops...)
+	if err != nil {
+		panic(err.Error())
+	}
+	return a, b, s
+}
+
+// scaleSymBond multiplies slice j of the given axis by scale[off+j],
+// where off is the bond leg's dense offset of the block's sector; scale
+// is indexed in the bond's canonical order, matching the singular-value
+// layout SymSVDSplit returns.
+func scaleSymBond(t *tensor.Sym, axis int, scale []float64) {
+	allOnes := true
+	for _, x := range scale {
+		if x != 1 {
+			allOnes = false
+			break
+		}
+	}
+	if allOnes {
+		return
+	}
+	leg := t.Leg(axis)
+	offsets := leg.Offsets()
+	t.EachBlock(func(sectors []int, blk *tensor.Dense) {
+		off := offsets[sectors[axis]]
+		shape := blk.Shape()
+		inner := 1
+		for i := axis + 1; i < len(shape); i++ {
+			inner *= shape[i]
+		}
+		outer := 1
+		for i := 0; i < axis; i++ {
+			outer *= shape[i]
+		}
+		n := shape[axis]
+		data := blk.Data()
+		for o := 0; o < outer; o++ {
+			for j := 0; j < n; j++ {
+				sc := complex(scale[off+j], 0)
+				base := (o*n + j) * inner
+				for i := 0; i < inner; i++ {
+					data[base+i] *= sc
+				}
+			}
+		}
+	})
+}
+
+// symPermuteTo transposes t (axes labeled by from) into the order of to.
+func symPermuteTo(t *tensor.Sym, from, to string) *tensor.Sym {
+	if from == to {
+		return t
+	}
+	perm := make([]int, len(to))
+	for i := 0; i < len(to); i++ {
+		p := strings.IndexByte(from, to[i])
+		if p < 0 {
+			panic(fmt.Sprintf("einsumsvd: internal label mismatch %q vs %q", from, to))
+		}
+		perm[i] = p
+	}
+	return t.Transpose(perm...)
+}

@@ -113,12 +113,14 @@ var (
 	cntGramFallback atomic.Int64
 	cntNonconverged atomic.Int64
 	cntCkptFailure  atomic.Int64
+	cntSymFallback  atomic.Int64
 
 	obsNaN          = obs.NewCounter("health.nan_detected")
 	obsSVDFallback  = obs.NewCounter("health.svd_fallbacks")
 	obsGramFallback = obs.NewCounter("health.gram_fallbacks")
 	obsNonconverged = obs.NewCounter("health.nonconverged")
 	obsCkptFailure  = obs.NewCounter("health.checkpoint_failures")
+	obsSymFallback  = obs.NewCounter("health.sym_fallbacks")
 )
 
 // NaNDetected returns how many guard scans found a non-finite value.
@@ -148,6 +150,7 @@ func ResetCounters() {
 	cntGramFallback.Store(0)
 	cntNonconverged.Store(0)
 	cntCkptFailure.Store(0)
+	cntSymFallback.Store(0)
 }
 
 // CountSVDFallback records one randomized-SVD → exact-SVD degradation.
@@ -173,6 +176,16 @@ func CountNonconverged(stage string) {
 func CountCheckpointFailure() {
 	cntCkptFailure.Add(1)
 	obsCkptFailure.Add(1)
+}
+
+// SymFallbacks returns how many symmetric evolutions embedded to dense
+// because a gate did not conserve charge.
+func SymFallbacks() int64 { return cntSymFallback.Load() }
+
+// CountSymFallback records one block-sparse → dense evolution fallback.
+func CountSymFallback() {
+	cntSymFallback.Add(1)
+	obsSymFallback.Add(1)
 }
 
 // --- NaN/Inf guards ---

@@ -81,8 +81,15 @@ type Result struct {
 	Energies []float64
 	// MeasuredAt[k] is the 1-based step index of the k-th measurement.
 	MeasuredAt []int
-	// Final is the evolved state.
+	// Final is the evolved state (for symmetric runs, its dense
+	// embedding).
 	Final *peps.PEPS
+	// FinalSym is the evolved block-sparse state of a symmetric run
+	// that did not fall back; nil otherwise.
+	FinalSym *peps.SymPEPS
+	// FellBack reports that a symmetric run hit a non-conserving gate
+	// and completed on the dense path (see EvolveSym).
+	FellBack bool
 }
 
 // stepSeed derives the measurement-stream seed for one step from the base

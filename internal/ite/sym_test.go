@@ -1,0 +1,224 @@
+package ite
+
+import (
+	"math"
+	"math/rand"
+	"path/filepath"
+	"testing"
+
+	"gokoala/internal/backend"
+	"gokoala/internal/checkpoint"
+	"gokoala/internal/einsumsvd"
+	"gokoala/internal/health"
+	"gokoala/internal/peps"
+	"gokoala/internal/pool"
+	"gokoala/internal/quantum"
+	"gokoala/internal/statevector"
+)
+
+func symEngineOf(t *testing.T, eng backend.Engine) backend.SymEngine {
+	t.Helper()
+	se, ok := backend.SymOf(eng)
+	if !ok {
+		t.Fatalf("engine %s has no block-sparse kernels", eng.Name())
+	}
+	return se
+}
+
+func symTestOptions(r, steps int) Options {
+	return Options{
+		Tau:             0.05,
+		Steps:           steps,
+		EvolutionRank:   r,
+		ContractionRank: 16,
+		Strategy:        einsumsvd.Explicit{},
+		MeasureEvery:    1,
+		Seed:            1,
+	}
+}
+
+// runSymDensePair evolves the same dual-frame TFI schedule on the
+// block-sparse and the dense path from the same initial state and
+// returns both traces.
+func runSymDensePair(t *testing.T, r, steps int) (sym, dense []float64) {
+	t.Helper()
+	eng := backend.NewDense()
+	se := symEngineOf(t, eng)
+	obs := quantum.TransverseFieldIsingDual(2, 2, -1, -3.5)
+
+	state := peps.SymComputationalBasis(se, 2, 2, 2, nil)
+	resSym := EvolveSym(state, obs, symTestOptions(r, steps))
+	if resSym.FellBack {
+		t.Fatal("dual TFI must not fall back")
+	}
+	if resSym.FinalSym == nil || resSym.Final == nil {
+		t.Fatal("symmetric result missing final state")
+	}
+
+	dstate := peps.SymComputationalBasis(se, 2, 2, 2, nil).ToDense()
+	resDense := Evolve(dstate, obs, symTestOptions(r, steps))
+	return resSym.Energies, resDense.Energies
+}
+
+// TestEvolveSymMatchesDense is the randomized-equivalence acceptance
+// check: full ITE runs, dense versus block-sparse, at worker counts 1
+// and 4. Within one backend the trace must be bit-identical across
+// worker counts; across backends the energies must agree to 1e-10 —
+// both untruncated and with rank truncation.
+func TestEvolveSymMatchesDense(t *testing.T) {
+	defer pool.SetWorkers(0)
+	for _, r := range []int{0, 2} {
+		// Untruncated bonds double every step and the doubled-layer
+		// expectation contraction scales with bond^2, so keep the r=0 run
+		// short; the truncated run can afford an extra step.
+		steps := 3
+		if r == 0 {
+			steps = 2
+		}
+		var symTraces, denseTraces [][]float64
+		for _, workers := range []int{1, 4} {
+			pool.SetWorkers(workers)
+			sym, dense := runSymDensePair(t, r, steps)
+			if len(sym) != steps || len(dense) != steps {
+				t.Fatalf("r=%d workers=%d: trace lengths %d/%d, want %d", r, workers, len(sym), len(dense), steps)
+			}
+			for i := range sym {
+				if math.Abs(sym[i]-dense[i]) > 1e-10 {
+					t.Fatalf("r=%d workers=%d step %d: sym %.17g dense %.17g", r, workers, i, sym[i], dense[i])
+				}
+			}
+			symTraces = append(symTraces, sym)
+			denseTraces = append(denseTraces, dense)
+		}
+		for i := range symTraces[0] {
+			if symTraces[0][i] != symTraces[1][i] {
+				t.Fatalf("r=%d: sym trace not bit-identical across workers at %d: %.17g vs %.17g",
+					r, i, symTraces[0][i], symTraces[1][i])
+			}
+			if denseTraces[0][i] != denseTraces[1][i] {
+				t.Fatalf("r=%d: dense trace not bit-identical across workers at %d", r, i)
+			}
+		}
+	}
+}
+
+func TestEvolveSymU1MatchesDense(t *testing.T) {
+	// The U(1) J1-J2 schedule exercises combined pair gates and routed
+	// diagonal terms from the Neel start.
+	eng := backend.NewDense()
+	se := symEngineOf(t, eng)
+	obs := quantum.J1J2HeisenbergU1(2, 2, quantum.PaperJ1J2ParamsU1())
+	bits := quantum.NeelBits(2, 2)
+
+	state := peps.SymComputationalBasis(se, 0, 2, 2, bits)
+	resSym := EvolveSym(state, obs, symTestOptions(4, 2))
+	if resSym.FellBack {
+		t.Fatal("U(1) J1-J2 must not fall back")
+	}
+	dstate := peps.SymComputationalBasis(se, 0, 2, 2, bits).ToDense()
+	resDense := Evolve(dstate, obs, symTestOptions(4, 2))
+	for i := range resSym.Energies {
+		if math.Abs(resSym.Energies[i]-resDense.Energies[i]) > 1e-10 {
+			t.Fatalf("step %d: sym %.17g dense %.17g", i, resSym.Energies[i], resDense.Energies[i])
+		}
+	}
+}
+
+func TestEvolveSymFallsBackOnNonConservingCircuit(t *testing.T) {
+	// The plain-frame TFI transverse field does not conserve parity: the
+	// whole run must complete on the dense path and say so.
+	eng := backend.NewDense()
+	se := symEngineOf(t, eng)
+	health.ResetCounters()
+	obs := quantum.TransverseFieldIsing(2, 2, -1, -3.5)
+	state := peps.SymComputationalBasis(se, 2, 2, 2, nil)
+	res := EvolveSym(state, obs, symTestOptions(2, 2))
+	if !res.FellBack {
+		t.Fatal("plain TFI must fall back")
+	}
+	if res.FinalSym != nil {
+		t.Fatal("fallback run must not report a symmetric final state")
+	}
+	if len(res.Energies) != 2 {
+		t.Fatalf("fallback run measured %d energies, want 2", len(res.Energies))
+	}
+	if health.SymFallbacks() != 1 {
+		t.Fatalf("sym fallback counter = %d, want 1", health.SymFallbacks())
+	}
+}
+
+func TestEvolveSymResumeBitIdentical(t *testing.T) {
+	// Kill-and-resume: a symmetric run checkpointed at every step and
+	// restarted mid-way must reproduce the uninterrupted trace bit for
+	// bit (checkpoint format v2 round-trips the block-sparse state).
+	eng := backend.NewDense()
+	se := symEngineOf(t, eng)
+	obs := quantum.TransverseFieldIsingDual(2, 2, -1, -3.5)
+	const steps = 4
+
+	full := EvolveSym(peps.SymComputationalBasis(se, 2, 2, 2, nil), obs, symTestOptions(2, steps))
+
+	path := filepath.Join(t.TempDir(), "sym.ckpt")
+	opts := symTestOptions(2, steps)
+	opts.CheckpointPath = path
+	opts.CheckpointEvery = 1
+	died := false
+	opts.AfterStep = func(step int) {
+		if step >= 2 {
+			died = true
+			panic("injected crash")
+		}
+	}
+	func() {
+		defer func() { recover() }()
+		EvolveSym(peps.SymComputationalBasis(se, 2, 2, 2, nil), obs, opts)
+	}()
+	if !died {
+		t.Fatal("crash injection did not fire")
+	}
+
+	cp, err := checkpoint.LoadITE(path, eng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cp.SymState == nil || cp.State != nil {
+		t.Fatal("checkpoint must hold the block-sparse state")
+	}
+	if cp.Step != 2 {
+		t.Fatalf("checkpoint at step %d, want 2", cp.Step)
+	}
+	opts2 := symTestOptions(2, steps)
+	opts2.CheckpointPath = path
+	opts2.From = cp
+	opts2.AfterStep = nil
+	resumed := EvolveSym(nil, obs, opts2)
+	if len(resumed.Energies) != len(full.Energies) {
+		t.Fatalf("resumed trace has %d points, want %d", len(resumed.Energies), len(full.Energies))
+	}
+	for i := range full.Energies {
+		if resumed.Energies[i] != full.Energies[i] {
+			t.Fatalf("resumed trace differs at %d: %.17g vs %.17g", i, resumed.Energies[i], full.Energies[i])
+		}
+		if resumed.MeasuredAt[i] != full.MeasuredAt[i] {
+			t.Fatalf("resumed measurement steps differ at %d", i)
+		}
+	}
+}
+
+func TestEvolveSymConvergesToReference(t *testing.T) {
+	// Physics check: the symmetric dual-frame evolution approaches the
+	// exact TFI ground energy, like the dense |+...+> evolution does.
+	eng := backend.NewDense()
+	se := symEngineOf(t, eng)
+	obs := quantum.TransverseFieldIsingDual(2, 2, -1, -3.5)
+	opts := symTestOptions(4, 120)
+	opts.Tau = 0.03
+	opts.MeasureEvery = 120
+	res := EvolveSym(peps.SymComputationalBasis(se, 2, 2, 2, nil), obs, opts)
+	exactE, _ := statevector.GroundState(obs, 4, rand.New(rand.NewSource(1)))
+	ref := exactE / 4
+	got := res.Energies[len(res.Energies)-1]
+	if math.Abs(got-ref) > 0.02*math.Abs(ref) {
+		t.Fatalf("sym ITE energy %.6f, exact %.6f", got, ref)
+	}
+}

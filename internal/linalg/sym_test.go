@@ -1,0 +1,219 @@
+package linalg
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"gokoala/internal/einsum"
+	"gokoala/internal/tensor"
+)
+
+func symEachTuple(legs []tensor.Leg, f func(sec []int)) {
+	sec := make([]int, len(legs))
+	var rec func(i int)
+	rec = func(i int) {
+		if i == len(legs) {
+			f(sec)
+			return
+		}
+		for s := 0; s < legs[i].NumSectors(); s++ {
+			sec[i] = s
+			rec(i + 1)
+		}
+	}
+	rec(0)
+}
+
+func randSymFull(rng *rand.Rand, mod, total int, legs []tensor.Leg) *tensor.Sym {
+	s := tensor.NewSym(mod, total, legs)
+	symEachTuple(legs, func(sec []int) {
+		if !s.Allowed(sec) {
+			return
+		}
+		shape := make([]int, len(sec))
+		for i, x := range sec {
+			shape[i] = legs[i].Dims[x]
+		}
+		s.SetBlock(tensor.Rand(rng, shape...), sec...)
+	})
+	return s
+}
+
+func symDenseClose(t *testing.T, got, want *tensor.Dense, tol float64) {
+	t.Helper()
+	gd, wd := got.Data(), want.Data()
+	if len(gd) != len(wd) {
+		t.Fatalf("size %d, want %d", len(gd), len(wd))
+	}
+	for i := range gd {
+		d := gd[i] - wd[i]
+		if math.Hypot(real(d), imag(d)) > tol {
+			t.Fatalf("element %d: %v, want %v", i, gd[i], wd[i])
+		}
+	}
+}
+
+func symTestLegs() []tensor.Leg {
+	return []tensor.Leg{
+		{Dir: 1, Charges: []int{0, 1}, Dims: []int{2, 2}},
+		{Dir: -1, Charges: []int{0, 1}, Dims: []int{1, 2}},
+		{Dir: 1, Charges: []int{0, 1}, Dims: []int{2, 1}},
+	}
+}
+
+func TestSymQRSplitReconstructs(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for _, mod := range []int{0, 2} {
+		a := randSymFull(rng, mod, 1, symTestLegs())
+		q, r := SymQRSplit(a, 2)
+		if q.Total() != 0 {
+			t.Fatalf("Q total %d, want 0", q.Total())
+		}
+		if r.Total() != a.Total() {
+			t.Fatalf("R total %d, want %d", r.Total(), a.Total())
+		}
+		if !tensor.DualLegs(q.Leg(2), r.Leg(0)) {
+			t.Fatal("Q and R bond legs are not dual")
+		}
+		got := einsum.MustContractSym("abk,kc->abc", q, r)
+		symDenseClose(t, got.ToDense(), a.ToDense(), 1e-12)
+	}
+}
+
+func TestSymQRSplitOrthonormal(t *testing.T) {
+	rng := rand.New(rand.NewSource(32))
+	a := randSymFull(rng, 0, 0, symTestLegs())
+	q, _ := SymQRSplit(a, 2)
+	// Q† Q over the row legs must be the identity on the bond.
+	g := einsum.MustContractSym("abk,abl->kl", q.Conj(), q)
+	gd := g.ToDense()
+	n := gd.Dim(0)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			want := complex(0, 0)
+			if i == j {
+				want = 1
+			}
+			d := gd.Data()[i*n+j] - want
+			if math.Hypot(real(d), imag(d)) > 1e-12 {
+				t.Fatalf("QhQ[%d,%d] = %v", i, j, gd.Data()[i*n+j])
+			}
+		}
+	}
+}
+
+func TestSymSVDSplitFullRankMatchesDense(t *testing.T) {
+	rng := rand.New(rand.NewSource(33))
+	for _, mod := range []int{0, 2} {
+		a := randSymFull(rng, mod, 0, symTestLegs())
+		u, s, vh := SymSVDSplit(a, 2, 0)
+		// The union spectrum must equal the dense spectrum of the
+		// embedded matricization (zeros from symmetry-forbidden entries
+		// excepted — the dense matricization has extra exact zeros).
+		m := a.Leg(0).TotalDim() * a.Leg(1).TotalDim()
+		n := a.Leg(2).TotalDim()
+		dmat := a.ToDense().Reshape(m, n)
+		_, ds, _ := SVD(dmat)
+		sorted := append([]float64{}, s...)
+		sort.Sort(sort.Reverse(sort.Float64Slice(sorted)))
+		for i, sv := range sorted {
+			if math.Abs(sv-ds[i]) > 1e-10 {
+				t.Fatalf("mod %d: singular value %d: %g, want %g", mod, i, sv, ds[i])
+			}
+		}
+		// Reconstruction: U diag(s) V† == a.
+		us := u.Clone()
+		scaleBond(t, us, 2, s)
+		got := einsum.MustContractSym("abk,kc->abc", us, vh)
+		symDenseClose(t, got.ToDense(), a.ToDense(), 1e-10)
+	}
+}
+
+// scaleBond multiplies bond-slice j of the given axis by s[j], walking
+// blocks and using the bond leg's sector offsets.
+func scaleBond(t *testing.T, x *tensor.Sym, axis int, s []float64) {
+	t.Helper()
+	leg := x.Leg(axis)
+	off := leg.Offsets()
+	x.EachBlock(func(sec []int, b *tensor.Dense) {
+		sh := b.Shape()
+		inner := 1
+		for i := axis + 1; i < len(sh); i++ {
+			inner *= sh[i]
+		}
+		outer := 1
+		for i := 0; i < axis; i++ {
+			outer *= sh[i]
+		}
+		d := b.Data()
+		for o := 0; o < outer; o++ {
+			for j := 0; j < sh[axis]; j++ {
+				f := complex(s[off[sec[axis]]+j], 0)
+				base := (o*sh[axis] + j) * inner
+				for i := 0; i < inner; i++ {
+					d[base+i] *= f
+				}
+			}
+		}
+	})
+}
+
+func TestSymSVDSplitTruncationMatchesDense(t *testing.T) {
+	// Global truncation across sectors must keep exactly the top-k of the
+	// union spectrum — the same values a dense truncated SVD keeps.
+	rng := rand.New(rand.NewSource(34))
+	a := randSymFull(rng, 0, 0, symTestLegs())
+	const rank = 3
+	u, s, vh := SymSVDSplit(a, 2, rank)
+	if len(s) != rank {
+		t.Fatalf("kept %d values, want %d", len(s), rank)
+	}
+	m := a.Leg(0).TotalDim() * a.Leg(1).TotalDim()
+	n := a.Leg(2).TotalDim()
+	_, ds, _ := SVD(a.ToDense().Reshape(m, n))
+	sorted := append([]float64{}, s...)
+	sort.Sort(sort.Reverse(sort.Float64Slice(sorted)))
+	for i := 0; i < rank; i++ {
+		if math.Abs(sorted[i]-ds[i]) > 1e-10 {
+			t.Fatalf("kept value %d: %g, want %g", i, sorted[i], ds[i])
+		}
+	}
+	// Truncated reconstruction error equals the dense optimum: the norm
+	// of the dropped tail.
+	us := u.Clone()
+	scaleBond(t, us, 2, s)
+	rec := einsum.MustContractSym("abk,kc->abc", us, vh).ToDense()
+	var errSq float64
+	ad, rd := a.ToDense().Data(), rec.Data()
+	for i := range ad {
+		d := ad[i] - rd[i]
+		errSq += real(d)*real(d) + imag(d)*imag(d)
+	}
+	var tailSq float64
+	for _, sv := range ds[rank:] {
+		tailSq += sv * sv
+	}
+	if math.Abs(math.Sqrt(errSq)-math.Sqrt(tailSq)) > 1e-10 {
+		t.Fatalf("truncation error %g, dense optimum %g", math.Sqrt(errSq), math.Sqrt(tailSq))
+	}
+	// The bond must carry per-sector prefixes only: bond dim == rank.
+	if u.Leg(2).TotalDim() != rank || vh.Leg(0).TotalDim() != rank {
+		t.Fatalf("bond dims %d/%d, want %d", u.Leg(2).TotalDim(), vh.Leg(0).TotalDim(), rank)
+	}
+}
+
+func TestSymSVDSplitDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(35))
+	a := randSymFull(rng, 2, 1, symTestLegs())
+	u1, s1, v1 := SymSVDSplit(a, 1, 2)
+	u2, s2, v2 := SymSVDSplit(a.Clone(), 1, 2)
+	for i := range s1 {
+		if s1[i] != s2[i] {
+			t.Fatalf("singular values differ at %d: %v vs %v", i, s1, s2)
+		}
+	}
+	symDenseClose(t, u1.ToDense(), u2.ToDense(), 0)
+	symDenseClose(t, v1.ToDense(), v2.ToDense(), 0)
+}

@@ -1,0 +1,79 @@
+package quantum_test
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"gokoala/internal/quantum"
+	"gokoala/internal/statevector"
+)
+
+func TestTFIDualSameSpectrum(t *testing.T) {
+	// The dual frame is a Hadamard conjugation: the ground energy is
+	// unchanged.
+	rng := rand.New(rand.NewSource(1))
+	a := quantum.TransverseFieldIsing(2, 2, -1, -3.5)
+	b := quantum.TransverseFieldIsingDual(2, 2, -1, -3.5)
+	ea, _ := statevector.GroundState(a, 4, rng)
+	eb, _ := statevector.GroundState(b, 4, rng)
+	if math.Abs(ea-eb) > 1e-8 {
+		t.Fatalf("dual frame shifted the ground energy: %.10f vs %.10f", ea, eb)
+	}
+}
+
+func TestJ1J2U1SameSpectrumAsReference(t *testing.T) {
+	// The combined-pair form is the same operator as the term-by-term
+	// reference at U(1)-conserving parameters.
+	rng := rand.New(rand.NewSource(2))
+	p := quantum.PaperJ1J2ParamsU1()
+	a := quantum.J1J2Heisenberg(2, 2, p)
+	b := quantum.J1J2HeisenbergU1(2, 2, p)
+	ea, _ := statevector.GroundState(a, 4, rng)
+	eb, _ := statevector.GroundState(b, 4, rng)
+	if math.Abs(ea-eb) > 1e-8 {
+		t.Fatalf("U(1) form shifted the ground energy: %.10f vs %.10f", ea, eb)
+	}
+}
+
+func TestJ1J2U1RejectsNonConservingParams(t *testing.T) {
+	for name, p := range map[string]quantum.J1J2Params{
+		"anisotropic": func() quantum.J1J2Params {
+			p := quantum.PaperJ1J2ParamsU1()
+			p.J1y = p.J1x + 0.1
+			return p
+		}(),
+		"transverse field": func() quantum.J1J2Params {
+			p := quantum.PaperJ1J2ParamsU1()
+			p.Hx = 0.2
+			return p
+		}(),
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", name)
+				}
+			}()
+			quantum.J1J2HeisenbergU1(2, 2, p)
+		}()
+	}
+}
+
+func TestNeelBits(t *testing.T) {
+	bits := quantum.NeelBits(2, 3)
+	want := []int{0, 1, 0, 1, 0, 1}
+	for i := range want {
+		if bits[i] != want[i] {
+			t.Fatalf("bits = %v, want %v", bits, want)
+		}
+	}
+	// Even lattice: half the sites are up, pinning S_z = 0.
+	sum := 0
+	for _, b := range quantum.NeelBits(2, 2) {
+		sum += b
+	}
+	if sum != 2 {
+		t.Fatalf("2x2 Neel has %d up bits, want 2", sum)
+	}
+}

@@ -16,6 +16,7 @@ import (
 	"strings"
 	"time"
 
+	"gokoala/internal/einsum"
 	"gokoala/internal/health"
 	"gokoala/internal/obs"
 )
@@ -167,6 +168,33 @@ func WriteMetrics(w io.Writer) {
 	typeLine(w, seen, MetricPrefix+"einsum_plan_hit_ratio", "gauge")
 	fmt.Fprintf(w, "%seinsum_plan_hit_ratio %s\n", MetricPrefix, formatValue(ratio))
 
+	// Block-sparse savings, derived from einsum's always-on atomics: the
+	// fraction of dense-equivalent GEMM flops the symmetric contractions
+	// avoided (0 when no symmetric contraction ran), plus the raw flop
+	// tallies it is computed from.
+	_, symBlocks, symFlops, symDense := einsum.SymStats()
+	saved := 0.0
+	if symDense > 0 {
+		saved = float64(symDense-symFlops) / float64(symDense)
+	}
+	typeLine(w, seen, MetricPrefix+"einsum_flops_saved_ratio", "gauge")
+	fmt.Fprintf(w, "%seinsum_flops_saved_ratio %s\n", MetricPrefix, formatValue(saved))
+	for _, c := range []struct {
+		name string
+		v    int64
+	}{
+		{"einsum_sym_block_gemms", symBlocks},
+		{"einsum_sym_flops_total", symFlops},
+		{"einsum_sym_dense_equiv_flops_total", symDense},
+	} {
+		name := MetricPrefix + c.name
+		if seen[name] {
+			continue
+		}
+		typeLine(w, seen, name, "counter")
+		fmt.Fprintf(w, "%s %d\n", name, c.v)
+	}
+
 	// Health counters are package-local atomics, alive under every
 	// policy and independent of obs collection.
 	for _, c := range []struct {
@@ -178,6 +206,7 @@ func WriteMetrics(w io.Writer) {
 		{"health_gram_fallbacks", health.GramFallbacks()},
 		{"health_nonconverged", health.Nonconverged()},
 		{"health_checkpoint_failures", health.CheckpointFailures()},
+		{"health_sym_fallbacks", health.SymFallbacks()},
 	} {
 		name := MetricPrefix + c.name
 		typeLine(w, seen, name, "counter")
