@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet check bench bench-smoke bench-sched bench-resume bench-compare telemetry-smoke sym-smoke clean
+.PHONY: all build test race vet check check-purego bench bench-smoke bench-sched bench-resume bench-compare telemetry-smoke sym-smoke clean
 
 all: check
 
@@ -27,6 +27,15 @@ vet:
 	$(GO) vet ./...
 
 check: build vet test race
+
+# Portable-kernel build: compile and test with the assembly excluded
+# (the build every non-amd64 / non-AVX2 target runs), plus the forced
+# KOALA_KERNEL=go dispatch on the default build. Both must stay
+# bit-identical to the pre-assembly kernels (DESIGN.md section 13).
+check-purego:
+	$(GO) vet -tags purego ./...
+	$(GO) test -tags purego ./internal/tensor/... ./internal/linalg/... ./internal/einsum/... ./internal/backend/...
+	KOALA_KERNEL=go $(GO) test -count=1 ./internal/tensor/... ./internal/linalg/...
 
 # Overhead reference for the tracing-off fast path (<2% target).
 bench:

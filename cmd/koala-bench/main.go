@@ -3,8 +3,13 @@
 //
 // Usage:
 //
-//	koala-bench [-full] [-workers n] [-trace file] [-metrics file] [-json dir] [-compare dir] <experiment>...
+//	koala-bench [-full] [-workers n] [-kernel auto|asm|go] [-f32-sketch] [-trace file] [-metrics file] [-json dir] [-compare dir] <experiment>...
 //	koala-bench all
+//
+// Kernel tuning: -kernel forces the compute-kernel dispatch (default:
+// CPU detection, overridable with KOALA_KERNEL), and -f32-sketch runs
+// the randomized-SVD sketch stage in complex64. Both are recorded in
+// the BENCH json "kernel" fields; neither is gated by -compare.
 //
 // Experiments: table2 fig7a fig7b fig8a fig8b fig9 fig10 fig11 fig12
 // fig13a fig13b fig14 ablation sym. The -full flag selects larger sweeps closer to the
@@ -52,8 +57,14 @@ func main() {
 	workers := cliutil.WorkersFlag()
 	scaling := flag.Bool("scaling", true, "with -json, rerun each suite at worker counts 1,2,4,... and record the scaling curve")
 	listen := cliutil.ListenFlag()
+	kernel := cliutil.KernelFlag()
+	f32Sketch := cliutil.F32SketchFlag()
 	flag.Parse()
 	cliutil.ApplyWorkers(*workers)
+	if err := cliutil.ApplyKernel(*kernel); err != nil {
+		fatal(err)
+	}
+	bench.SetSketch32(*f32Sketch)
 	args := flag.Args()
 	if len(args) == 0 {
 		usage()
@@ -361,6 +372,6 @@ func fatal(err error) {
 const divider = "================================================================"
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: koala-bench [-full] [-trace file] [-metrics file] [-json dir] [-compare dir] <experiment>...
+	fmt.Fprintln(os.Stderr, `usage: koala-bench [-full] [-kernel auto|asm|go] [-f32-sketch] [-trace file] [-metrics file] [-json dir] [-compare dir] <experiment>...
 experiments: table2 fig7a fig7b fig8a fig8b fig9 fig10 fig11 fig12 fig13a fig13b fig14 ablation sym | all`)
 }

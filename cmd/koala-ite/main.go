@@ -45,8 +45,13 @@ func main() {
 	oc := cliutil.ObsFlags()
 	workers := cliutil.WorkersFlag()
 	listen := cliutil.ListenFlag()
+	kernel := cliutil.KernelFlag()
+	f32Sketch := cliutil.F32SketchFlag()
 	flag.Parse()
 	cliutil.ApplyWorkers(*workers)
+	if err := cliutil.ApplyKernel(*kernel); err != nil {
+		log.Fatal(err)
+	}
 	if err := cliutil.ApplyHealth(*healthFlag); err != nil {
 		log.Fatal(err)
 	}
@@ -104,7 +109,7 @@ func main() {
 			mm = 2
 		}
 	}
-	var strategy einsumsvd.Strategy = einsumsvd.ImplicitRand{Rng: rand.New(rand.NewSource(*seed))}
+	var strategy einsumsvd.Strategy = einsumsvd.ImplicitRand{Rng: rand.New(rand.NewSource(*seed)), Sketch32: *f32Sketch}
 	if *explicit {
 		strategy = einsumsvd.Explicit{}
 	}

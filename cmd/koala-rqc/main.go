@@ -32,8 +32,13 @@ func main() {
 	oc := cliutil.ObsFlags()
 	workers := cliutil.WorkersFlag()
 	listen := cliutil.ListenFlag()
+	kernel := cliutil.KernelFlag()
+	f32Sketch := cliutil.F32SketchFlag()
 	flag.Parse()
 	cliutil.ApplyWorkers(*workers)
+	if err := cliutil.ApplyKernel(*kernel); err != nil {
+		log.Fatal(err)
+	}
 	if _, err := oc.Setup(); err != nil {
 		log.Fatal(err)
 	}
@@ -87,7 +92,7 @@ func main() {
 		}
 		eb := peps.RelativeError(proj.ContractScalar(peps.BMPS{M: m, Strategy: einsumsvd.Explicit{}}), exact)
 		ib := peps.RelativeError(proj.ContractScalar(peps.BMPS{
-			M: m, Strategy: einsumsvd.ImplicitRand{Rng: rand.New(rand.NewSource(*seed + int64(m)))},
+			M: m, Strategy: einsumsvd.ImplicitRand{Rng: rand.New(rand.NewSource(*seed + int64(m))), Sketch32: *f32Sketch},
 		}), exact)
 		fmt.Printf("%-6d %-14.3e %-14.3e\n", m, eb, ib)
 	}

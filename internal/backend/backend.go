@@ -56,6 +56,25 @@ func (*Dense) TruncSVD(m *tensor.Dense, rank int) (*tensor.Dense, []float64, *te
 
 func (*Dense) Orth(x *tensor.Dense) *tensor.Dense { return linalg.OrthQR(x) }
 
+// MixedContractor is an optional Engine capability: contraction with the
+// batched GEMMs computed in reduced (complex64) precision. Engines
+// without it simply run full precision — callers must treat the mixed
+// path as an optimization, never a semantic switch. It powers the
+// RandSVD complex64 sketch (einsumsvd.ImplicitRand.Sketch32).
+type MixedContractor interface {
+	// EinsumMixed contracts like Einsum with complex64 GEMM arithmetic;
+	// operands and result stay complex128.
+	EinsumMixed(spec string, ops ...*tensor.Dense) *tensor.Dense
+}
+
+func (*Dense) EinsumMixed(spec string, ops ...*tensor.Dense) *tensor.Dense {
+	out, err := einsum.ContractWithHooks(spec, ops, einsum.Hooks{GEMM: tensor.BatchMatMulMixed})
+	if err != nil {
+		panic("backend: " + err.Error())
+	}
+	return out
+}
+
 // RandSVD runs the implicit randomized SVD of paper Algorithm 4 using the
 // engine's orthogonalization kernel for the orthogonal-iteration steps.
 func RandSVD(e Engine, op linalg.Operator, rank int, nIter, oversample int, rng *rand.Rand) (*tensor.Dense, []float64, *tensor.Dense) {
@@ -71,12 +90,16 @@ func RandSVD(e Engine, op linalg.Operator, rank int, nIter, oversample int, rng 
 // deterministic probe (see linalg.RandSVDReport): callers inspect
 // rep.Converged to decide whether the sketch resolved the operator well
 // enough or an exact fallback is warranted. probeTol <= 0 selects
-// health.DefaultSubspaceTol.
-func RandSVDChecked(e Engine, op linalg.Operator, rank int, nIter, oversample int, rng *rand.Rand, probeTol float64) (*tensor.Dense, []float64, *tensor.Dense, linalg.Report) {
+// health.DefaultSubspaceTol. sketch32 opts the sketch/power-iteration
+// stages into complex64 arithmetic for operators that support it (see
+// linalg.SketchApplier); the probe runs at full precision either way, so
+// a sketch the reduced precision degraded still trips the fallback.
+func RandSVDChecked(e Engine, op linalg.Operator, rank int, nIter, oversample int, rng *rand.Rand, probeTol float64, sketch32 bool) (*tensor.Dense, []float64, *tensor.Dense, linalg.Report) {
 	return linalg.RandSVDReport(op, rank, linalg.RandSVDOptions{
 		NIter:      nIter,
 		Oversample: oversample,
 		Orth:       e.Orth,
 		Rng:        rng,
+		Sketch32:   sketch32,
 	}, probeTol)
 }

@@ -159,6 +159,38 @@ func (ie *Instrumented) Einsum(spec string, ops ...*tensor.Dense) *tensor.Dense 
 	return out
 }
 
+// EinsumMixed forwards the mixed-precision contraction capability
+// through the instrumentation when the inner engine has it, keeping the
+// same spans, einsum.* counters, and NaN/Inf stage guard as Einsum. An
+// inner engine without the capability falls back to full precision, so
+// wrapping never changes which precisions are reachable.
+func (ie *Instrumented) EinsumMixed(spec string, ops ...*tensor.Dense) *tensor.Dense {
+	mc, ok := ie.inner.(MixedContractor)
+	if !ok {
+		return ie.Einsum(spec, ops...)
+	}
+	if !obs.Enabled() {
+		out := mc.EinsumMixed(spec, ops...)
+		health.CheckTensor("backend.einsum", out)
+		return out
+	}
+	sp := obs.Start("einsum").SetStr("spec", spec).SetStr("precision", "mixed-c64")
+	before := ie.statsBefore()
+	flopsBefore := tensor.FlopCount()
+	obsContracts.Add(1)
+	hooks := obsHooks(tensor.BatchMatMulMixed)
+	out, err := einsum.ContractWithHooks(spec, ops, hooks)
+	if err != nil {
+		sp.End()
+		panic("backend: " + err.Error())
+	}
+	ie.annotate(sp, before)
+	setFlops(sp, flopsBefore)
+	sp.End()
+	health.CheckTensor("backend.einsum", out)
+	return out
+}
+
 // checkFactorization scans the post-factorization outputs at the stage
 // boundary: both tensor factors and the real singular-value/weight
 // vector (where an ill-conditioned solve first shows NaN).

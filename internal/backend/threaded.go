@@ -4,7 +4,6 @@ import (
 	"gokoala/internal/einsum"
 	"gokoala/internal/linalg"
 	"gokoala/internal/obs"
-	"gokoala/internal/pool"
 	"gokoala/internal/tensor"
 )
 
@@ -47,30 +46,32 @@ func (t *Threaded) Einsum(spec string, ops ...*tensor.Dense) *tensor.Dense {
 	return out
 }
 
-// batchMatMul multiplies [bt, m, k] x [bt, k, n], splitting the bt*m
-// output rows over the worker pool with at most t.Workers chunks. Rows
-// are multiplied in place into disjoint sub-slices of the shared output
-// — no per-call goroutines, no temporaries, no copies. The output
-// buffer counts as obs-tracked scratch while the kernel fills it.
+// EinsumMixed contracts with complex64 GEMM arithmetic. The mixed
+// kernel parallelizes internally over the full pool (the Workers cap
+// applies only to the full-precision partitioned kernel; the sketch
+// path is opt-in and its row splits cannot change results either way).
+func (t *Threaded) EinsumMixed(spec string, ops ...*tensor.Dense) *tensor.Dense {
+	out, err := einsum.ContractWithHooks(spec, ops, einsum.Hooks{GEMM: tensor.BatchMatMulMixed})
+	if err != nil {
+		panic("backend: " + err.Error())
+	}
+	return out
+}
+
+// batchMatMul multiplies [bt, m, k] x [bt, k, n] with at most t.Workers
+// chunks. The bounded split lives in the tensor layer
+// (BatchMatMulIntoMax) so the kernel decision is made once per batch —
+// per-chunk dispatch would let the Workers knob change which kernel
+// (and rounding) serves a row. The output buffer counts as obs-tracked
+// scratch while the kernel fills it.
 func (t *Threaded) batchMatMul(a, b *tensor.Dense) *tensor.Dense {
-	bt, m, k := a.Dim(0), a.Dim(1), a.Dim(2)
+	bt, m := a.Dim(0), a.Dim(1)
 	n := b.Dim(2)
 	outBytes := int64(bt) * int64(m) * int64(n) * 16
 	obs.TrackBytes(outBytes)
 	defer obs.TrackBytes(-outBytes)
 	out := tensor.New(bt, m, n)
-	grain := int(65536/(int64(n)*int64(k))) + 1
-	pool.ForMax(t.Workers, bt*m, grain, func(lo, hi int) {
-		for r := lo; r < hi; {
-			bi, i := r/m, r%m
-			rows := min(m-i, hi-r)
-			co := tensor.FromData(out.Data()[r*n:(r+rows)*n], rows, n)
-			ao := tensor.FromData(a.Data()[r*k:(r+rows)*k], rows, k)
-			bo := tensor.FromData(b.Data()[bi*k*n:(bi+1)*k*n], k, n)
-			tensor.MatMulInto(co, ao, bo)
-			r += rows
-		}
-	})
+	tensor.BatchMatMulIntoMax(t.Workers, out, a, b)
 	return out
 }
 

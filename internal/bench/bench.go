@@ -183,5 +183,14 @@ func engineSet(ranks int) (map[string]backend.Engine, map[string]*dist.Grid) {
 func explicitStrategy() einsumsvd.Strategy { return einsumsvd.Explicit{} }
 
 func implicitStrategy(seed int64) einsumsvd.Strategy {
-	return einsumsvd.ImplicitRand{NIter: 1, Oversample: 4, Rng: rand.New(rand.NewSource(seed))}
+	return einsumsvd.ImplicitRand{NIter: 1, Oversample: 4, Rng: rand.New(rand.NewSource(seed)), Sketch32: sketch32}
 }
+
+// sketch32 opts every implicit strategy the experiments construct into
+// the complex64 sketch stage (the koala-bench -f32-sketch flag); it is
+// recorded in each suite's KernelInfo.
+var sketch32 bool
+
+// SetSketch32 toggles the complex64 RandSVD sketch stage for every
+// implicit strategy the experiments build. Call before running suites.
+func SetSketch32(on bool) { sketch32 = on }

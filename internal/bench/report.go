@@ -9,6 +9,7 @@ import (
 	"gokoala/internal/einsum"
 	"gokoala/internal/obs"
 	"gokoala/internal/pool"
+	"gokoala/internal/tensor"
 )
 
 // SuiteResult is the machine-readable record koala-bench emits per
@@ -70,6 +71,36 @@ type SuiteResult struct {
 	// Sym carries the per-model dense-versus-block-sparse comparison of
 	// the sym suite (nil for every other suite).
 	Sym *SymSuiteDetail `json:"sym,omitempty"`
+	// Kernel records which compute kernels served the suite. Every field
+	// is machine-dependent (which CPU ran, which dispatch won), so like
+	// wall-clock it is reported for context and never gated by
+	// CompareSuite.
+	Kernel *KernelInfo `json:"kernel,omitempty"`
+}
+
+// KernelInfo is the per-suite snapshot of the compute-kernel dispatch:
+// the variant that won CPU detection (or was forced via KOALA_KERNEL /
+// -kernel), the features behind the choice, per-class GEMM dispatch
+// counts, and the realized arithmetic rate.
+type KernelInfo struct {
+	// Variant is the selected kernel implementation ("avx2" or "go").
+	Variant string `json:"variant"`
+	// CPUFeatures lists the detected SIMD features (empty on non-amd64
+	// and purego builds).
+	CPUFeatures string `json:"cpu_features,omitempty"`
+	// GFlops is the realized rate in real GFLOP/s over the suite's wall
+	// time, counting one complex multiply-add as 8 real flops. Zero when
+	// no wall time was measured.
+	GFlops float64 `json:"gflops,omitempty"`
+	// GEMMAsm / GEMMGo / GEMMMixed count gemm dispatches per kernel
+	// class: assembly complex128 panels, portable Go panels, and
+	// complex64 mixed-precision batches (the RandSVD sketch path).
+	GEMMAsm   int64 `json:"gemm_asm_calls"`
+	GEMMGo    int64 `json:"gemm_go_calls"`
+	GEMMMixed int64 `json:"gemm_mixed_calls"`
+	// F32Sketch records whether the complex64 RandSVD sketch stage
+	// (-f32-sketch) was enabled for the run.
+	F32Sketch bool `json:"f32_sketch"`
 }
 
 // HealthCounters is the per-suite snapshot of the numerical-health
@@ -109,6 +140,17 @@ func CollectSuiteMetrics(res *SuiteResult) {
 	res.PeakBytes = obs.PeakBytes()
 	if d := TakeSymDetail(); d != nil {
 		res.Sym = d
+	}
+	res.Kernel = &KernelInfo{
+		Variant:     tensor.KernelVariant(),
+		CPUFeatures: tensor.CPUFeatures(),
+		GEMMAsm:     int64(obs.MetricValueOf("kernel.gemm_asm")),
+		GEMMGo:      int64(obs.MetricValueOf("kernel.gemm_go")),
+		GEMMMixed:   int64(obs.MetricValueOf("kernel.gemm_mixed")),
+		F32Sketch:   sketch32,
+	}
+	if res.WallSeconds > 0 {
+		res.Kernel.GFlops = 8 * float64(res.Flops) / res.WallSeconds / 1e9
 	}
 	res.Health = HealthCounters{
 		NaNDetected:        int64(obs.MetricValueOf("health.nan_detected")),

@@ -16,7 +16,35 @@ import (
 	"gokoala/internal/obs"
 	"gokoala/internal/pool"
 	"gokoala/internal/telemetry"
+	"gokoala/internal/tensor"
 )
+
+// KernelFlag registers the standard -kernel flag selecting the compute
+// kernel implementation. Call ApplyKernel with its value after
+// flag.Parse. The KOALA_KERNEL environment variable sets the same
+// override for library users; the flag wins when both are given.
+func KernelFlag() *string {
+	return flag.String("kernel", "",
+		"compute kernels: auto (CPU detect) | asm (require AVX2+FMA) | go (portable reference)")
+}
+
+// ApplyKernel installs the -kernel flag value; "" keeps the KOALA_KERNEL
+// environment override (or auto-detection) already in effect.
+func ApplyKernel(s string) error {
+	if s == "" {
+		return nil
+	}
+	return tensor.SetKernel(s)
+}
+
+// F32SketchFlag registers the standard -f32-sketch flag: compute the
+// randomized-SVD sketch and power-iteration contractions in complex64
+// (see einsumsvd.ImplicitRand.Sketch32). The probe and final projection
+// stay complex128 and the probe-driven exact fallback still applies.
+func F32SketchFlag() *bool {
+	return flag.Bool("f32-sketch", false,
+		"complex64 sketch stage for randomized SVD (probe and projection stay complex128)")
+}
 
 // SeedFlag registers the standard -seed flag with the given default.
 func SeedFlag(def int64) *int64 {
@@ -86,7 +114,16 @@ func StartTelemetry(addr, component string, labels map[string]string) (*telemetr
 	if err != nil {
 		return nil, err
 	}
-	telemetry.SetRunInfo(component, labels)
+	// Every component reports which compute kernels served the run (and
+	// the CPU features behind the choice) without each main wiring it.
+	merged := map[string]string{"kernel": tensor.KernelVariant()}
+	if feats := tensor.CPUFeatures(); feats != "" {
+		merged["cpu_features"] = feats
+	}
+	for k, v := range labels {
+		merged[k] = v
+	}
+	telemetry.SetRunInfo(component, merged)
 	fmt.Printf("telemetry: listening on http://%s (/metrics /healthz /events /debug/pprof)\n", srv.Addr())
 	return srv, nil
 }

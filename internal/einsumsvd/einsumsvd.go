@@ -92,6 +92,12 @@ type ImplicitRand struct {
 	// probe still runs and non-convergence is still visible in the
 	// returned report counters).
 	FallbackTol float64
+	// Sketch32 computes the sketch and power-iteration contractions in
+	// complex64 (the -f32-sketch CLI option). The subspace probe and the
+	// final projection stay complex128, and the probe-driven fallback
+	// above guards against precision-degraded sketches; on engines
+	// without a mixed-precision path the option is a no-op.
+	Sketch32 bool
 }
 
 func (ImplicitRand) Name() string { return "implicit-rsvd" }
@@ -358,7 +364,38 @@ func (o *networkOperator) ApplyAdjoint(pv *tensor.Dense) *tensor.Dense {
 	return out.Reshape(o.p.colSize, r)
 }
 
-var _ linalg.Operator = (*networkOperator)(nil)
+// mixedEinsum routes a contraction through the engine's complex64 GEMM
+// path when the engine has one, full precision otherwise — the sketch
+// option must degrade to a no-op on engines (Sym, Dist) that cannot
+// compute in reduced precision.
+func (o *networkOperator) mixedEinsum(spec string, ops ...*tensor.Dense) *tensor.Dense {
+	if mc, ok := o.eng.(backend.MixedContractor); ok {
+		return mc.EinsumMixed(spec, ops...)
+	}
+	return o.eng.Einsum(spec, ops...)
+}
+
+// ApplySketch and ApplyAdjointSketch implement linalg.SketchApplier:
+// the same network contractions as Apply/ApplyAdjoint with the batched
+// GEMMs in complex64.
+func (o *networkOperator) ApplySketch(q *tensor.Dense) *tensor.Dense {
+	r := q.Dim(1)
+	qt := q.Reshape(append(append([]int{}, o.p.colDims...), r)...)
+	out := o.mixedEinsum(o.applySpec, append(append([]*tensor.Dense{}, o.ops...), qt)...)
+	return out.Reshape(o.p.rowSize, r)
+}
+
+func (o *networkOperator) ApplyAdjointSketch(pv *tensor.Dense) *tensor.Dense {
+	r := pv.Dim(1)
+	pt := pv.Reshape(append(append([]int{}, o.p.rowDims...), r)...)
+	out := o.mixedEinsum(o.adjSpec, append(append([]*tensor.Dense{}, o.conjOps...), pt)...)
+	return out.Reshape(o.p.colSize, r)
+}
+
+var (
+	_ linalg.Operator      = (*networkOperator)(nil)
+	_ linalg.SketchApplier = (*networkOperator)(nil)
+)
 
 // Factor implements Strategy for the implicit randomized-SVD path.
 func (ir ImplicitRand) Factor(eng backend.Engine, spec string, rank int, ops ...*tensor.Dense) (*tensor.Dense, *tensor.Dense, []float64, error) {
@@ -378,7 +415,7 @@ func (ir ImplicitRand) Factor(eng backend.Engine, spec string, rank int, ops ...
 		oversample = 4
 	}
 	op := newNetworkOperator(eng, p, ops)
-	u, s, v, rep := backend.RandSVDChecked(eng, op, rank, nIter, oversample, ir.Rng, ir.FallbackTol)
+	u, s, v, rep := backend.RandSVDChecked(eng, op, rank, nIter, oversample, ir.Rng, ir.FallbackTol, ir.Sketch32)
 	if !rep.Converged && ir.FallbackTol >= 0 {
 		// The sketch missed too much of the operator: degrade to the
 		// exact contract-then-SVD path. The probe and this decision are

@@ -24,6 +24,21 @@ type Operator interface {
 	ApplyAdjoint(p *tensor.Dense) *tensor.Dense
 }
 
+// SketchApplier is an optional Operator capability: reduced-precision
+// application for the sketch/power-iteration stages of RandSVD. The
+// sketch only has to span the dominant subspace, not reproduce entries,
+// so implementations may compute in complex64 (convert-in/convert-out at
+// the kernel boundary); RandSVD never uses them for the probe or the
+// final projection, which stay full precision, and the deterministic
+// subspace probe catches a sketch the reduced precision degraded.
+type SketchApplier interface {
+	// ApplySketch is Apply, allowed to compute in reduced precision.
+	ApplySketch(q *tensor.Dense) *tensor.Dense
+	// ApplyAdjointSketch is ApplyAdjoint, allowed to compute in reduced
+	// precision.
+	ApplyAdjointSketch(p *tensor.Dense) *tensor.Dense
+}
+
 // MatrixOperator adapts an explicit matrix to the Operator interface,
 // used for testing and for the explicit einsumsvd path.
 type MatrixOperator struct{ M *tensor.Dense }
@@ -36,6 +51,14 @@ func (o MatrixOperator) Apply(q *tensor.Dense) *tensor.Dense {
 func (o MatrixOperator) ApplyAdjoint(p *tensor.Dense) *tensor.Dense {
 	return tensor.MatMul(o.M.Conj().Transpose(1, 0), p)
 }
+func (o MatrixOperator) ApplySketch(q *tensor.Dense) *tensor.Dense {
+	return tensor.MatMulMixed(o.M, q)
+}
+func (o MatrixOperator) ApplyAdjointSketch(p *tensor.Dense) *tensor.Dense {
+	return tensor.MatMulMixed(o.M.Conj().Transpose(1, 0), p)
+}
+
+var _ SketchApplier = MatrixOperator{}
 
 // OrthFunc orthonormalizes the columns of an m-by-r block vector,
 // returning a matrix with the same span and orthonormal columns. The two
@@ -69,6 +92,12 @@ type RandSVDOptions struct {
 	Orth OrthFunc
 	// Rng supplies the random sketch; required.
 	Rng *rand.Rand
+	// Sketch32 runs the sketch and power-iteration operator applications
+	// in reduced (complex64) precision when the operator implements
+	// SketchApplier; operators that do not are applied at full precision,
+	// so the option degrades to a no-op rather than an error. The probe
+	// and the final projection always stay complex128.
+	Sketch32 bool
 }
 
 // RandSVD approximates the rank-`rank` truncated SVD of the implicitly
@@ -122,11 +151,17 @@ func randSVD(op Operator, rank int, opts RandSVDOptions, probe bool, tol float64
 	}
 	r := min(k+opts.Oversample, min(m, n))
 
+	apply, applyAdjoint := op.Apply, op.ApplyAdjoint
+	if opts.Sketch32 {
+		if sa, ok := op.(SketchApplier); ok {
+			apply, applyAdjoint = sa.ApplySketch, sa.ApplyAdjointSketch
+		}
+	}
 	q := tensor.Rand(opts.Rng, n, r)
-	p := orth(op.Apply(q))
+	p := orth(apply(q))
 	for i := 0; i < opts.NIter; i++ {
-		q = orth(op.ApplyAdjoint(p))
-		p = orth(op.Apply(q))
+		q = orth(applyAdjoint(p))
+		p = orth(apply(q))
 	}
 	rep.Sweeps = opts.NIter
 	rep.Converged = true

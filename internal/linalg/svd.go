@@ -241,15 +241,8 @@ func colGram(p, q []complex128) (alpha, beta float64, gamma complex128) {
 // rotateCols applies the 2-column Jacobi update [p q] <- [p q] G where
 // G = [[c, s*phase], [-s*conj(phase), c]].
 func rotateCols(p, q []complex128, c, s float64, phase complex128) {
-	cc := complex(c, 0)
-	sp := complex(s, 0) * phase
-	spc := cmplx.Conj(sp)
 	tensor.AddFlops(4 * int64(len(p)))
-	for i := range p {
-		pi, qi := p[i], q[i]
-		p[i] = cc*pi - spc*qi
-		q[i] = sp*pi + cc*qi
-	}
+	tensor.JacobiRotate(p, q, c, s, phase)
 }
 
 // fillOrthoColumn writes into column col of the row-major m-by-k matrix a

@@ -1,0 +1,66 @@
+//go:build amd64 && !purego
+
+package tensor
+
+// CPU-feature detection for the AVX2+FMA microkernels. The assembly is
+// usable only when the CPU reports AVX2 and FMA3 and the OS has enabled
+// saving the YMM state (OSXSAVE set and XCR0 covering XMM+YMM) — the
+// standard three-step check from the Intel SDM.
+
+import "strings"
+
+// Implemented in cpu_amd64.s.
+func cpuidex(leaf, sub uint32) (eax, ebx, ecx, edx uint32)
+func xgetbv0() (eax, edx uint32)
+
+var (
+	asmAvailable         bool
+	asmUnavailableReason string
+	cpuFeatures          string
+)
+
+func init() {
+	maxLeaf, _, _, _ := cpuidex(0, 0)
+	if maxLeaf < 7 {
+		asmUnavailableReason = "cpuid leaf 7 unsupported"
+		return
+	}
+	_, _, ecx1, _ := cpuidex(1, 0)
+	const (
+		bitFMA     = 1 << 12
+		bitOSXSAVE = 1 << 27
+		bitAVX     = 1 << 28
+	)
+	_, ebx7, _, _ := cpuidex(7, 0)
+	const bitAVX2 = 1 << 5
+
+	var feats []string
+	if ecx1&bitAVX != 0 {
+		feats = append(feats, "avx")
+	}
+	if ebx7&bitAVX2 != 0 {
+		feats = append(feats, "avx2")
+	}
+	if ecx1&bitFMA != 0 {
+		feats = append(feats, "fma")
+	}
+	osYMM := false
+	if ecx1&bitOSXSAVE != 0 {
+		lo, _ := xgetbv0()
+		osYMM = lo&0x6 == 0x6 // XMM (bit 1) and YMM (bit 2) state enabled
+		if osYMM {
+			feats = append(feats, "osxsave")
+		}
+	}
+	cpuFeatures = strings.Join(feats, ",")
+	switch {
+	case ebx7&bitAVX2 == 0:
+		asmUnavailableReason = "cpu lacks AVX2"
+	case ecx1&bitFMA == 0:
+		asmUnavailableReason = "cpu lacks FMA3"
+	case !osYMM:
+		asmUnavailableReason = "OS does not save YMM state"
+	default:
+		asmAvailable = true
+	}
+}

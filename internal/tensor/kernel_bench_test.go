@@ -1,6 +1,7 @@
 package tensor
 
 import (
+	"fmt"
 	"math/rand"
 	"testing"
 )
@@ -14,11 +15,80 @@ func benchMatMul(b *testing.B, m, n, k int) {
 	for i := 0; i < b.N; i++ {
 		MatMul(x, y)
 	}
+	reportGFlops(b, int64(m)*int64(n)*int64(k))
+}
+
+// reportGFlops attaches the realized arithmetic rate to a GEMM-shaped
+// benchmark: macsPerOp complex multiply-adds per iteration, counted as
+// 8 real flops each.
+func reportGFlops(b *testing.B, macsPerOp int64) {
+	secs := b.Elapsed().Seconds()
+	if secs <= 0 {
+		return
+	}
+	b.ReportMetric(8*float64(macsPerOp)*float64(b.N)/secs/1e9, "GFLOP/s")
 }
 
 func BenchmarkGEMM64(b *testing.B)  { benchMatMul(b, 64, 64, 64) }
 func BenchmarkGEMM128(b *testing.B) { benchMatMul(b, 128, 128, 128) }
 func BenchmarkGEMM256(b *testing.B) { benchMatMul(b, 256, 256, 256) }
+
+// Tall/skinny shapes with small contraction depth: the block shapes the
+// symmetric backend's per-sector GEMMs produce (tall charge sectors,
+// bond-dimension-sized k), where panel packing overhead is proportionally
+// largest.
+func BenchmarkGEMMTallK4(b *testing.B)  { benchMatMul(b, 256, 8, 4) }
+func BenchmarkGEMMTallK8(b *testing.B)  { benchMatMul(b, 256, 16, 8) }
+func BenchmarkGEMMTallK16(b *testing.B) { benchMatMul(b, 512, 16, 16) }
+
+// BenchmarkGEMMCutover races the two candidate kernels for the
+// small-(m,k) corner head to head on each shape: the streaming Go loop
+// (gemmSmall) against the asm packed-panel kernel (skipped without
+// AVX2). The asmGemmProfitable thresholds in matmul.go are set from
+// this sweep; rerun with -bench GEMMCutover -benchtime 0.2s after
+// touching either kernel.
+func BenchmarkGEMMCutover(b *testing.B) {
+	rng := rand.New(rand.NewSource(6))
+	for _, s := range []struct{ m, n, k int }{
+		{2, 64, 8}, {3, 64, 8}, {4, 64, 8}, {6, 64, 8}, {8, 64, 8},
+		{8, 64, 4}, {8, 64, 5}, {8, 64, 6}, {8, 64, 7},
+		{4, 64, 4}, {4, 64, 6}, {16, 64, 6}, {32, 64, 6},
+	} {
+		macs := int64(s.m) * int64(s.n) * int64(s.k)
+		c := make([]complex128, s.m*s.n)
+		x := Rand(rng, s.m, s.k).Data()
+		y := Rand(rng, s.k, s.n).Data()
+		b.Run(fmt.Sprintf("small/m%dn%dk%d", s.m, s.n, s.k), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				gemmSmall(c, x, y, s.m, s.n, s.k)
+			}
+			reportGFlops(b, macs)
+		})
+		if !useAsm() {
+			continue
+		}
+		b.Run(fmt.Sprintf("asm/m%dn%dk%d", s.m, s.n, s.k), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				gemmAsm(c, x, y, s.m, s.n, s.k)
+			}
+			reportGFlops(b, macs)
+		})
+	}
+}
+
+// BenchmarkGEMMMixed is the complex64 sketch-stage kernel on the
+// BenchmarkGEMM256 shape (same macs, half the bytes per element).
+func BenchmarkGEMMMixed256(b *testing.B) {
+	rng := rand.New(rand.NewSource(5))
+	x := Rand(rng, 256, 256)
+	y := Rand(rng, 256, 256)
+	b.SetBytes(256 * 256 * 256 * 16)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		MatMulMixed(x, y)
+	}
+	reportGFlops(b, 256*256*256)
+}
 
 // BenchmarkGEMMBatchSmall is the BMPS regime: many small multiplies.
 func BenchmarkGEMMBatchSmall(b *testing.B) {

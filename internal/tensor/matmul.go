@@ -30,6 +30,39 @@ const (
 	gemmBlockN = 64 // n-panel width; one panel of B is 64KB, L2-resident
 )
 
+// gemmSmall cutover: shapes too small to amortize panel packing skip it
+// and run the streaming i-k-j kernel. The Go path's cutover (m<4 || k<8)
+// is frozen: it predates the fused scatter kernels, but moving it would
+// change which loop structure — and therefore which rounding — serves
+// the affected shapes, breaking the purego/KOALA_KERNEL=go bit-identity
+// contract with existing baselines. The asm path has no such contract
+// (it is already tolerance-gated against Go), so its cutover is set from
+// measurement: BenchmarkGEMMCutover in kernel_bench_test.go races the
+// two kernels head to head and shows three effects governing the
+// crossing on this AVX2 Xeon. Packing a B panel costs O(k*n) moves paid
+// once per panel, so it amortizes over the row count — the asm kernel
+// only wins from m>=8 and needs m*k>=64 (at m=8 the crossing sits at
+// k~8, by m=16 it has moved down to k=4). A fixed per-call pack/setup
+// cost additionally needs ~4k total multiply-adds to disappear (at
+// m=8,n=16,k=8 the asm kernel still loses 1.7x despite m*k=64).
+const (
+	gemmSmallGoMinM = 4 // frozen with the Go panel kernel's rounding
+	gemmSmallGoMinK = 8
+	asmGemmMinM     = 8    // rows to amortize the per-panel B pack
+	asmGemmMinK     = 4    // below this the dup/swap FMA chain is pack-bound
+	asmGemmMinMK    = 64   // m*k floor: m8k4 loses, m16k4 wins
+	asmGemmMinMacs  = 4096 // m*n*k floor covering fixed pack/setup cost
+)
+
+// asmGemmProfitable reports whether the packed-panel asm kernel beats
+// the streaming loop for this shape (thresholds measured by
+// BenchmarkGEMMCutover; shared by the complex64 mixed kernel, whose
+// crossover behaves the same way at half the element width).
+func asmGemmProfitable(m, n, k int) bool {
+	return m >= asmGemmMinM && k >= asmGemmMinK &&
+		m*k >= asmGemmMinMK && m*n*k >= asmGemmMinMacs
+}
+
 // MatMul returns the matrix product a@b of two rank-2 tensors.
 func MatMul(a, b *Dense) *Dense {
 	if a.Rank() != 2 || b.Rank() != 2 {
@@ -91,17 +124,61 @@ func BatchMatMulInto(out, a, b *Dense) {
 	batchGEMM(out.data, a.data, b.data, bt, m, n, ka)
 }
 
+// BatchMatMulIntoMax is BatchMatMulInto with a cap on the number of
+// worker chunks (max <= 0 means the full pool); the Threaded engine's
+// Workers knob routes through it so a bounded split still makes one
+// kernel decision for the whole batch.
+func BatchMatMulIntoMax(max int, out, a, b *Dense) {
+	if a.Rank() != 3 || b.Rank() != 3 || out.Rank() != 3 {
+		panic(fmt.Sprintf("tensor: BatchMatMulIntoMax requires rank-3 operands, got %d, %d, %d", out.Rank(), a.Rank(), b.Rank()))
+	}
+	bt, m, ka := a.shape[0], a.shape[1], a.shape[2]
+	bt2, kb, n := b.shape[0], b.shape[1], b.shape[2]
+	if bt != bt2 || ka != kb {
+		panic(fmt.Sprintf("tensor: BatchMatMulIntoMax shape mismatch %v x %v", a.shape, b.shape))
+	}
+	if out.shape[0] != bt || out.shape[1] != m || out.shape[2] != n {
+		panic(fmt.Sprintf("tensor: BatchMatMulIntoMax output shape %v, want [%d %d %d]", out.shape, bt, m, n))
+	}
+	batchGEMMMax(max, out.data, a.data, b.data, bt, m, n, ka)
+}
+
 // batchGEMM runs bt independent m x n x k multiplies, splitting the
 // bt*m output rows over the worker pool with a flop-based grain so
 // small batches stay inline on the caller. Row ranges are disjoint, so
 // workers write the shared output without synchronization.
 func batchGEMM(c, a, b []complex128, bt, m, n, k int) {
+	batchGEMMMax(0, c, a, b, bt, m, n, k)
+}
+
+func batchGEMMMax(max int, c, a, b []complex128, bt, m, n, k int) {
+	// The asm-vs-streaming decision is made once on the full batch shape,
+	// not per chunk: chunk boundaries depend on the worker count (and can
+	// slice off partial matrices with very few rows), so deciding inside
+	// gemm would let the split flip kernels — and their rounding —
+	// breaking the worker-count bit-identity contract. The asm kernels
+	// themselves compute every output row by the same instruction
+	// sequence regardless of how rows are grouped, so once the decision
+	// is fixed the split cannot change results. The Go path keeps gemm's
+	// frozen per-call cutover (the seed behavior baselines are recorded
+	// with; asmGemmProfitable is monotone in m, so when the full batch is
+	// unprofitable no smaller chunk re-enables asm inside gemm either).
+	asm := useAsm() && asmGemmProfitable(m, n, k)
 	grain := int(65536/(int64(n)*int64(k))) + 1
-	pool.For(bt*m, grain, func(lo, hi int) {
+	pool.ForMax(max, bt*m, grain, func(lo, hi int) {
 		for r := lo; r < hi; {
 			t, i := r/m, r%m
 			rows := min(m-i, hi-r)
-			gemm(c[(t*m+i)*n:(t*m+i+rows)*n], a[(t*m+i)*k:(t*m+i+rows)*k], b[t*k*n:(t+1)*k*n], rows, n, k)
+			co := c[(t*m+i)*n : (t*m+i+rows)*n]
+			ao := a[(t*m+i)*k : (t*m+i+rows)*k]
+			bo := b[t*k*n : (t+1)*k*n]
+			if asm {
+				flopCount.Add(int64(rows) * int64(n) * int64(k))
+				obsGEMMAsm.Add(1)
+				gemmAsm(co, ao, bo, rows, n, k)
+			} else {
+				gemm(co, ao, bo, rows, n, k)
+			}
 			r += rows
 		}
 	})
@@ -115,12 +192,22 @@ func batchGEMM(c, a, b []complex128, bt, m, n, k int) {
 // Very short multiplies skip packing (nothing to amortize it over).
 func gemm(c, a, b []complex128, m, n, k int) {
 	flopCount.Add(int64(m) * int64(n) * int64(k))
-	if m < 4 || k < 8 {
+	if useAsm() {
+		if !asmGemmProfitable(m, n, k) {
+			gemmSmall(c, a, b, m, n, k)
+			return
+		}
+		obsGEMMAsm.Add(1)
+		gemmAsm(c, a, b, m, n, k)
+		return
+	}
+	if m < gemmSmallGoMinM || k < gemmSmallGoMinK {
 		// Too few rows to amortize packing, or a contraction so short
 		// that streaming rows of B beats touching a packed panel.
 		gemmSmall(c, a, b, m, n, k)
 		return
 	}
+	obsGEMMGo.Add(1)
 	var packBuf [gemmBlockK * gemmBlockN]complex128
 	for kk := 0; kk < k; kk += gemmBlockK {
 		kMax := min(kk+gemmBlockK, k)
@@ -139,6 +226,84 @@ func gemm(c, a, b []complex128, m, n, k int) {
 				}
 			}
 			gemmPanel(c, a, pack, m, n, k, kk, kLen, jj, jMax, kk == 0)
+		}
+	}
+}
+
+// gemmAsm is the packing wrapper around the AVX2+FMA microkernels in
+// gemm_amd64.s. It mirrors gemm's blocking exactly, with two layout
+// adjustments the assembly relies on: packed-B columns are laid out at
+// an even stride kp (odd k-panels get one zero pad, and the matching A
+// strips are copied into a padded scratch) so the k-loop runs in whole
+// YMM steps with no scalar tail, and an odd trailing column is computed
+// in Go at its fixed position so results never depend on how callers
+// split rows across workers. The row-pair and single-row kernels share
+// one per-output instruction sequence for the same reason.
+func gemmAsm(c, a, b []complex128, m, n, k int) {
+	var packBuf [gemmBlockK * gemmBlockN]complex128
+	var aPad [2 * gemmBlockK]complex128
+	for kk := 0; kk < k; kk += gemmBlockK {
+		kMax := min(kk+gemmBlockK, k)
+		kLen := kMax - kk
+		kp := (kLen + 1) &^ 1
+		store := kk == 0
+		for jj := 0; jj < n; jj += gemmBlockN {
+			jMax := min(jj+gemmBlockN, n)
+			cols := jMax - jj
+			for j := jj; j < jMax; j++ {
+				col := packBuf[(j-jj)*kp : (j-jj)*kp+kp]
+				bo := kk*n + j
+				for l := 0; l < kLen; l++ {
+					col[l] = b[bo]
+					bo += n
+				}
+				if kp > kLen {
+					col[kLen] = 0
+				}
+			}
+			pairs := cols / 2
+			var i int
+			for i = 0; i+1 < m; i += 2 {
+				pa0 := &a[i*k+kk]
+				pa1 := &a[(i+1)*k+kk]
+				if kp > kLen {
+					copy(aPad[:kLen], a[i*k+kk:])
+					aPad[kLen] = 0
+					copy(aPad[gemmBlockK:gemmBlockK+kLen], a[(i+1)*k+kk:])
+					aPad[gemmBlockK+kLen] = 0
+					pa0, pa1 = &aPad[0], &aPad[gemmBlockK]
+				}
+				if pairs > 0 {
+					gemmPanelPairAsm(&c[i*n+jj], &c[(i+1)*n+jj], pa0, pa1, &packBuf[0], kp, pairs, store)
+				}
+			}
+			if i < m {
+				pa0 := &a[i*k+kk]
+				if kp > kLen {
+					copy(aPad[:kLen], a[i*k+kk:])
+					aPad[kLen] = 0
+					pa0 = &aPad[0]
+				}
+				if pairs > 0 {
+					gemmPanelRowAsm(&c[i*n+jj], pa0, &packBuf[0], kp, pairs, store)
+				}
+			}
+			if cols%2 != 0 {
+				j := jMax - 1
+				col := packBuf[(cols-1)*kp : (cols-1)*kp+kLen]
+				for i := 0; i < m; i++ {
+					arow := a[i*k+kk : i*k+kk+kLen]
+					var s complex128
+					for l := range arow {
+						s += arow[l] * col[l]
+					}
+					if store {
+						c[i*n+j] = s
+					} else {
+						c[i*n+j] += s
+					}
+				}
+			}
 		}
 	}
 }
@@ -306,6 +471,9 @@ func BatchMatMulScatter(dst []complex128, a, b *Dense, bMap, iMap, jMap []int) {
 		}
 	}
 	grain := int(65536/(int64(n)*int64(ka))) + 1
+	// One kernel decision per call, shared by every worker, so a row's
+	// arithmetic never depends on which worker ran it.
+	asm := useAsm() && n > 0
 	pool.For(bt*m, grain, func(lo, hi int) {
 		var row []complex128
 		if ka > 2 {
@@ -375,27 +543,41 @@ func BatchMatMulScatter(dst []complex128, a, b *Dense, bMap, iMap, jMap []int) {
 				continue
 			}
 			// General k: accumulate the row in scratch with the same
-			// summation order as gemmSmall, then scatter it once.
-			b0 := bb[:n]
-			a0, a1 := arow[0], arow[1]
-			b1 := bb[n : 2*n][:len(b0)]
-			for j := range row {
-				row[j] = a0*b0[j] + a1*b1[j]
-			}
-			var l int
-			for l = 2; l+1 < ka; l += 2 {
-				a0, a1 := arow[l], arow[l+1]
-				b0 := bb[l*n : (l+1)*n]
-				b1 := bb[(l+1)*n : (l+2)*n][:len(b0)]
-				for j := range row {
-					row[j] += a0*b0[j] + a1*b1[j]
+			// summation order as gemmSmall, then scatter it once. The
+			// axpy microkernels keep that order (one paired k-step per
+			// pass over the row), so both variants scatter identical
+			// reduction shapes.
+			if asm {
+				axpy2Asm(&row[0], &bb[0], &bb[n], n, arow[0], arow[1], true)
+				var l int
+				for l = 2; l+1 < ka; l += 2 {
+					axpy2Asm(&row[0], &bb[l*n], &bb[(l+1)*n], n, arow[l], arow[l+1], false)
 				}
-			}
-			if l < ka {
-				al := arow[l]
-				brow := bb[l*n : (l+1)*n]
+				if l < ka {
+					axpy1Asm(&row[0], &bb[l*n], n, arow[l])
+				}
+			} else {
+				b0 := bb[:n]
+				a0, a1 := arow[0], arow[1]
+				b1 := bb[n : 2*n][:len(b0)]
 				for j := range row {
-					row[j] += al * brow[j]
+					row[j] = a0*b0[j] + a1*b1[j]
+				}
+				var l int
+				for l = 2; l+1 < ka; l += 2 {
+					a0, a1 := arow[l], arow[l+1]
+					b0 := bb[l*n : (l+1)*n]
+					b1 := bb[(l+1)*n : (l+2)*n][:len(b0)]
+					for j := range row {
+						row[j] += a0*b0[j] + a1*b1[j]
+					}
+				}
+				if l < ka {
+					al := arow[l]
+					brow := bb[l*n : (l+1)*n]
+					for j := range row {
+						row[j] += al * brow[j]
+					}
 				}
 			}
 			if run4 {
