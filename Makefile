@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet check check-purego bench bench-smoke bench-sched bench-resume bench-compare telemetry-smoke sym-smoke clean
+.PHONY: all build test race vet check check-purego bench bench-smoke bench-sched bench-resume bench-compare telemetry-smoke sym-smoke dist-smoke clean
 
 all: check
 
@@ -136,6 +136,47 @@ sym-smoke:
 	   ! grep -q "^sym acceptance j1j2-u1: .*PASS$$" $$tmp/out.txt; then \
 		echo "sym-smoke: acceptance failed"; cat $$tmp/out.txt; exit 1; fi; \
 	echo "sym-smoke: block-sparse acceptance passed on both models"
+
+# Real rank-process transport smoke (binaries built -race):
+#  1. koala-rqc at ranks 1/2/4 over Unix sockets must print stdout
+#     bit-identical to the in-process transport at the same rank count
+#     (real rank processes change nothing about the numerics).
+#  2. A 4-rank fig7a run's deterministic metrics (modeled dist stats
+#     included; measured wall clock excluded by design) must diff clean
+#     against the in-process run via koala-obs diff.
+#  3. Killed-rank teardown: with KOALA_RANK_DIE_AFTER injected the job
+#     must fail naming a rank and leave zero orphaned rank processes.
+dist-smoke:
+	@tmp=$$(mktemp -d); trap "rm -rf $$tmp" EXIT; set -e; \
+	$(GO) build -race -o $$tmp/koala-rqc ./cmd/koala-rqc; \
+	$(GO) build -race -o $$tmp/koala-bench ./cmd/koala-bench; \
+	$(GO) build -o $$tmp/koala-obs ./cmd/koala-obs; \
+	for n in 1 2 4; do \
+		$$tmp/koala-rqc -n 3 -layers 2 -ms 1,2 -ranks $$n -transport inproc \
+			> $$tmp/rqc-inproc-$$n.txt 2> $$tmp/rqc-inproc-$$n.err; \
+		$$tmp/koala-rqc -n 3 -layers 2 -ms 1,2 -ranks $$n -transport unix \
+			> $$tmp/rqc-unix-$$n.txt 2> $$tmp/rqc-unix-$$n.err; \
+		cmp $$tmp/rqc-inproc-$$n.txt $$tmp/rqc-unix-$$n.txt || { \
+			echo "dist-smoke: rqc output differs across transports at ranks=$$n"; exit 1; }; \
+	done; \
+	grep -q "measured:" $$tmp/rqc-unix-4.err || { \
+		echo "dist-smoke: no measured collective summary at ranks=4"; cat $$tmp/rqc-unix-4.err; exit 1; }; \
+	$$tmp/koala-bench -transport inproc -ranks 4 -scaling=false \
+		-metrics $$tmp/fig7a-inproc.jsonl fig7a > $$tmp/fig7a-inproc.txt; \
+	$$tmp/koala-bench -transport unix -ranks 4 -scaling=false \
+		-metrics $$tmp/fig7a-unix.jsonl fig7a > $$tmp/fig7a-unix.txt; \
+	$$tmp/koala-obs diff $$tmp/fig7a-inproc.jsonl $$tmp/fig7a-unix.jsonl || { \
+		echo "dist-smoke: fig7a deterministic metrics differ across transports"; exit 1; }; \
+	status=0; KOALA_RANK_DIE_AFTER=2 $$tmp/koala-rqc -n 3 -layers 1 -ms 1 -ranks 4 -transport unix \
+		> $$tmp/kill.txt 2> $$tmp/kill.err || status=$$?; \
+	if [ $$status -eq 0 ]; then \
+		echo "dist-smoke: killed-rank job exited 0"; cat $$tmp/kill.err; exit 1; fi; \
+	grep -q "rank" $$tmp/kill.err || { \
+		echo "dist-smoke: killed-rank error does not name a rank"; cat $$tmp/kill.err; exit 1; }; \
+	sleep 1; \
+	if pgrep -f "$$tmp/koala-rqc" > /dev/null 2>&1; then \
+		echo "dist-smoke: orphaned rank processes after failure"; pgrep -af "$$tmp/koala-rqc"; exit 1; fi; \
+	echo "dist-smoke: ranks 1/2/4 bit-identical across transports, metrics diff clean, killed rank torn down with no orphans"
 
 clean:
 	$(GO) clean ./...

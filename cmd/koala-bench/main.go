@@ -11,6 +11,13 @@
 // the randomized-SVD sketch stage in complex64. Both are recorded in
 // the BENCH json "kernel" fields; neither is gated by -compare.
 //
+// Transport: -transport unix|tcp with -ranks n launches n real rank
+// processes behind the dist grids of the suites whose simulated rank
+// count matches (-ranks also overrides fig7a/b and fig8a/b's default).
+// Modeled stats are bit-identical to -transport inproc; the run
+// additionally records measured wall clock per collective
+// (dist.measured.* counters, shown by koala-obs report).
+//
 // Experiments: table2 fig7a fig7b fig8a fig8b fig9 fig10 fig11 fig12
 // fig13a fig13b fig14 ablation sym. The -full flag selects larger sweeps closer to the
 // paper's parameters (minutes to hours on one core); the default sizes
@@ -49,6 +56,7 @@ import (
 )
 
 func main() {
+	cliutil.MaybeRankMode()
 	full := flag.Bool("full", false, "run the larger parameter sweeps")
 	traceFile := flag.String("trace", "", "write a Chrome trace_event JSON file")
 	metricsFile := flag.String("metrics", "", "write a JSON-lines span/metrics log")
@@ -59,12 +67,25 @@ func main() {
 	listen := cliutil.ListenFlag()
 	kernel := cliutil.KernelFlag()
 	f32Sketch := cliutil.F32SketchFlag()
+	transport := cliutil.TransportFlag()
+	ranks := cliutil.RanksFlag()
 	flag.Parse()
 	cliutil.ApplyWorkers(*workers)
 	if err := cliutil.ApplyKernel(*kernel); err != nil {
 		fatal(err)
 	}
 	bench.SetSketch32(*f32Sketch)
+	if *transport != "inproc" && *ranks <= 0 {
+		fatal(fmt.Errorf("-transport %s requires -ranks > 0", *transport))
+	}
+	tr, err := cliutil.OpenTransport(*transport, *ranks)
+	if err != nil {
+		fatal(err)
+	}
+	if tr != nil {
+		bench.SetTransport(tr)
+		defer tr.Close()
+	}
 	args := flag.Args()
 	if len(args) == 0 {
 		usage()
@@ -127,7 +148,7 @@ func main() {
 		if i > 0 {
 			fmt.Fprintf(w, "\n%s\n\n", divider)
 		}
-		params, run := suite(name, *full)
+		params, run := suite(name, *full, *ranks)
 		if run == nil {
 			fmt.Fprintf(os.Stderr, "unknown experiment %q\n", name)
 			usage()
@@ -208,8 +229,10 @@ func main() {
 
 // suite maps an experiment name to its configuration (recorded in the
 // BENCH_<suite>.json Params field) and a runner. A nil runner means the
-// name is unknown.
-func suite(name string, full bool) (interface{}, func(io.Writer)) {
+// name is unknown. ranks > 0 overrides the simulated rank count of the
+// suites that have one (fig7a/b, fig8a/b) — the way -transport runs
+// match the grid size to the real process count.
+func suite(name string, full bool, ranks int) (interface{}, func(io.Writer)) {
 	switch name {
 	case "table2":
 		cfg := bench.DefaultTable2Config()
@@ -225,12 +248,18 @@ func suite(name string, full bool) (interface{}, func(io.Writer)) {
 			cfg.N = 8
 			cfg.Bonds = []int{2, 4, 8, 12, 16}
 		}
+		if ranks > 0 {
+			cfg.Ranks = ranks
+		}
 		return cfg, func(w io.Writer) { bench.ExperimentFig7(w, cfg, true) }
 	case "fig7b":
 		cfg := bench.DefaultFig7bConfig()
 		if full {
 			cfg.N = 10
 			cfg.Bonds = []int{2, 4, 8, 12}
+		}
+		if ranks > 0 {
+			cfg.Ranks = ranks
 		}
 		return cfg, func(w io.Writer) { bench.ExperimentFig7(w, cfg, false) }
 	case "fig8a":
@@ -240,12 +269,18 @@ func suite(name string, full bool) (interface{}, func(io.Writer)) {
 			cfg.Bonds = []int{2, 4, 8, 16}
 			cfg.ExactMax = 6
 		}
+		if ranks > 0 {
+			cfg.Ranks = ranks
+		}
 		return cfg, func(w io.Writer) { bench.ExperimentFig8(w, cfg, true) }
 	case "fig8b":
 		cfg := bench.DefaultFig8bConfig()
 		if full {
 			cfg.N = 10
 			cfg.Bonds = []int{2, 4, 8, 16}
+		}
+		if ranks > 0 {
+			cfg.Ranks = ranks
 		}
 		return cfg, func(w io.Writer) { bench.ExperimentFig8(w, cfg, false) }
 	case "fig9":
@@ -372,6 +407,6 @@ func fatal(err error) {
 const divider = "================================================================"
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: koala-bench [-full] [-kernel auto|asm|go] [-f32-sketch] [-trace file] [-metrics file] [-json dir] [-compare dir] <experiment>...
+	fmt.Fprintln(os.Stderr, `usage: koala-bench [-full] [-kernel auto|asm|go] [-f32-sketch] [-transport inproc|unix|tcp] [-ranks n] [-trace file] [-metrics file] [-json dir] [-compare dir] <experiment>...
 experiments: table2 fig7a fig7b fig8a fig8b fig9 fig10 fig11 fig12 fig13a fig13b fig14 ablation sym | all`)
 }

@@ -219,6 +219,20 @@ func report(w io.Writer, t *obsfile.Trace, top int) {
 		}
 	}
 
+	if colls := t.Collectives(); len(colls) > 0 {
+		fmt.Fprintf(w, "\n-- collectives: modeled vs measured --\n")
+		rows := [][]string{{"op", "modeled_s", "measured_s", "measured_ops"}}
+		for _, c := range colls {
+			meas, ops := "-", "-"
+			if c.MeasuredOps > 0 {
+				meas = fmt.Sprintf("%.6f", c.MeasuredSeconds)
+				ops = fmt.Sprintf("%d", c.MeasuredOps)
+			}
+			rows = append(rows, []string{c.Op, fmt.Sprintf("%.6f", c.ModeledSeconds), meas, ops})
+		}
+		writeTable(w, rows)
+	}
+
 	if len(t.Metrics) > 0 {
 		fmt.Fprintf(w, "\n-- final counters --\n")
 		names := make([]string, 0, len(t.Metrics))
@@ -300,7 +314,8 @@ commands:
   report [-top k] [-json] trace.jsonl
       Analyze a -metrics/-trace JSON-lines log: per-phase summary,
       top-k spans (inclusive, exclusive, flops), critical path with
-      slack, modeled per-rank utilization, final counters.
+      slack, modeled per-rank utilization, per-collective modeled vs
+      measured communication time (real transports), final counters.
       -json emits the same report as one machine-readable document.
 
   diff a.jsonl b.jsonl

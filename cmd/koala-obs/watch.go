@@ -225,6 +225,8 @@ func render(w io.Writer, snap *watchSnapshot, clear bool) {
 		{"flops saved (sym)", "koala_einsum_flops_saved_ratio"},
 		{"sym sectors", "koala_einsum_sym_sectors"},
 		{"sym state bytes", "koala_peps_sym_state_bytes"},
+		{"modeled comm s", "koala_dist_modeled_comm_seconds"},
+		{"measured comm s", "koala_dist_measured_comm_seconds"},
 		{"goroutines", "koala_go_goroutines"},
 	} {
 		if v, ok := snap.Metrics[m.name]; ok {

@@ -81,10 +81,17 @@ func WorkersFlag() *int {
 }
 
 // ApplyWorkers resizes the worker pool when the -workers flag was given
-// a positive value; 0 keeps the KOALA_WORKERS / GOMAXPROCS default.
+// a positive value; 0 keeps the KOALA_WORKERS / GOMAXPROCS default. A
+// negative value is rejected with a one-line warning (mirroring the
+// KOALA_WORKERS validation in pool) rather than silently ignored.
 func ApplyWorkers(n int) {
 	if n > 0 {
 		pool.SetWorkers(n)
+		return
+	}
+	if n < 0 {
+		fmt.Fprintf(os.Stderr, "koala: ignoring -workers=%d: must be positive; using default (%d workers)\n",
+			n, pool.Size())
 	}
 }
 

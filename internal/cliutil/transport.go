@@ -1,0 +1,60 @@
+package cliutil
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"gokoala/internal/dist"
+	distnet "gokoala/internal/dist/net"
+)
+
+// MaybeRankMode hands the process over to the hidden koala-rank mode
+// when the KOALA_RANK_MODE environment variable is set (the socket
+// transport re-execs the running binary for ranks 1..P-1) and never
+// returns in that case. Every koala main calls this first — before flag
+// parsing — so any of the binaries can serve as the rank executable.
+func MaybeRankMode() {
+	distnet.MaybeRankMain()
+}
+
+// TransportFlag registers the standard -transport flag selecting how
+// dist collectives execute: metering-only in-process goroutines (the
+// deterministic default) or real rank processes over sockets.
+func TransportFlag() *string {
+	return flag.String("transport", "inproc",
+		"dist collective transport: inproc (goroutines, modeled only) | unix | tcp (real rank processes)")
+}
+
+// RanksFlag registers the standard -ranks flag: the SPMD grid size for
+// engines that take one (and the process count for -transport unix/tcp).
+// 0 keeps each suite's own default.
+func RanksFlag() *int {
+	return flag.Int("ranks", 0, "SPMD ranks for dist engines (0 = suite default); with -transport unix|tcp, also the process count")
+}
+
+// OpenTransport starts the socket transport named by the -transport flag
+// value for the given rank count. "inproc" (or "") returns nil — the
+// grid's in-process default. The transport's failure hook prints the
+// first error and exits, so a dead rank cancels the whole job; the
+// caller owns Close.
+func OpenTransport(name string, ranks int) (dist.Transport, error) {
+	switch name {
+	case "", "inproc":
+		return nil, nil
+	case "unix", "tcp":
+		t, err := distnet.Start(distnet.Options{
+			Ranks:   ranks,
+			Network: name,
+			OnFailure: func(err error) {
+				fmt.Fprintf(os.Stderr, "koala: distributed job failed: %v\n", err)
+				os.Exit(1)
+			},
+		})
+		if err != nil {
+			return nil, err
+		}
+		return t, nil
+	}
+	return nil, fmt.Errorf("cliutil: unknown transport %q (want inproc|unix|tcp)", name)
+}

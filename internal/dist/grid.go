@@ -37,6 +37,18 @@ type Grid struct {
 	seqFlops    int64
 	redistCount int64
 
+	// Per-op modeled communication time, for the modeled-vs-measured
+	// split of koala-obs report (OpGemm has no measured counterpart).
+	modeledOpPs [NumOps]int64
+
+	// Real-transport state: the attached transport (nil = in-process),
+	// its first error, and the measured wall-clock per collective
+	// recorded beside the modeled accounting. See transport.go.
+	transport    Transport
+	transportErr error
+	measOps      [NumOps]int64
+	measPs       [NumOps]int64
+
 	// Per-rank timeline accounts and the label naming this grid in
 	// emitted rank records; see timeline.go.
 	ranks []rankAcct
@@ -81,6 +93,22 @@ type Stats struct {
 	ParallelFlops      int64
 	SequentialFlops    int64
 	Redistributions    int64
+	// MeasuredOps and MeasuredCommSeconds are the real-transport side of
+	// the accounting: how many collectives actually moved bytes between
+	// rank processes and the wall-clock they took. Both stay zero on the
+	// in-process engine, and neither is deterministic — compare modeled
+	// accounting across transports with ModeledOnly.
+	MeasuredOps         int64
+	MeasuredCommSeconds float64
+}
+
+// ModeledOnly returns the deterministic machine-model part of the
+// snapshot with the measured (wall-clock) fields zeroed, so modeled
+// accounting can be compared bit-for-bit across transports.
+func (s Stats) ModeledOnly() Stats {
+	s.MeasuredOps = 0
+	s.MeasuredCommSeconds = 0
+	return s
 }
 
 // CommBandwidthSeconds is the total byte-transfer time.
@@ -104,6 +132,9 @@ func (s Stats) Sub(prev Stats) Stats {
 		ParallelFlops:      s.ParallelFlops - prev.ParallelFlops,
 		SequentialFlops:    s.SequentialFlops - prev.SequentialFlops,
 		Redistributions:    s.Redistributions - prev.Redistributions,
+
+		MeasuredOps:         s.MeasuredOps - prev.MeasuredOps,
+		MeasuredCommSeconds: s.MeasuredCommSeconds - prev.MeasuredCommSeconds,
 	}
 }
 
@@ -118,6 +149,9 @@ func (g *Grid) Reset() {
 	defer g.mu.Unlock()
 	g.msgs, g.bytes, g.parFlops, g.seqFlops, g.redistCount = 0, 0, 0, 0, 0
 	g.commLatPs, g.bwGemmPs, g.bwBigPs, g.bwSmallPs, g.compPs = 0, 0, 0, 0, 0
+	g.modeledOpPs = [NumOps]int64{}
+	g.measOps = [NumOps]int64{}
+	g.measPs = [NumOps]int64{}
 	g.ranks = nil
 }
 
@@ -125,7 +159,51 @@ func (g *Grid) Reset() {
 func (g *Grid) Snapshot() Stats {
 	g.mu.Lock()
 	defer g.mu.Unlock()
-	return Stats{g.msgs, g.bytes, secs(g.commLatPs), secs(g.bwGemmPs), secs(g.bwBigPs), secs(g.bwSmallPs), secs(g.compPs), g.parFlops, g.seqFlops, g.redistCount}
+	var mOps, mPs int64
+	for op := Op(0); op < NumOps; op++ {
+		mOps += g.measOps[op]
+		mPs += g.measPs[op]
+	}
+	return Stats{
+		Msgs:               g.msgs,
+		Bytes:              g.bytes,
+		CommLatencySeconds: secs(g.commLatPs),
+		BWGemmSeconds:      secs(g.bwGemmPs),
+		BWBigSeconds:       secs(g.bwBigPs),
+		BWSmallSeconds:     secs(g.bwSmallPs),
+		CompSeconds:        secs(g.compPs),
+		ParallelFlops:      g.parFlops,
+		SequentialFlops:    g.seqFlops,
+		Redistributions:    g.redistCount,
+
+		MeasuredOps:         mOps,
+		MeasuredCommSeconds: secs(mPs),
+	}
+}
+
+// OpStats is the per-collective modeled-vs-measured split of one op.
+type OpStats struct {
+	Op              Op
+	ModeledSeconds  float64
+	MeasuredSeconds float64
+	MeasuredOps     int64
+}
+
+// OpBreakdown returns the per-op modeled and measured communication
+// accounting, in Op order (OpGemm last, always measured-zero).
+func (g *Grid) OpBreakdown() []OpStats {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	out := make([]OpStats, 0, NumOps)
+	for op := Op(0); op < NumOps; op++ {
+		out = append(out, OpStats{
+			Op:              op,
+			ModeledSeconds:  secs(g.modeledOpPs[op]),
+			MeasuredSeconds: secs(g.measPs[op]),
+			MeasuredOps:     g.measOps[op],
+		})
+	}
+	return out
 }
 
 // --- collective accounting ---
@@ -139,7 +217,14 @@ const (
 	bwClassSmall
 )
 
-func (g *Grid) addComm(msgs int64, bytes int64, latSecs, bwSecs float64, class bwClass) {
+// addComm records one collective's modeled cost. The obs-counter mirror
+// (observeComm) runs while g.mu is still held: the obs totals therefore
+// advance in the same order as the grid's own counters, so a concurrent
+// snapshot can never observe grid totals ahead of (or behind) the
+// published samples — publishing after unlock let collectives racing on
+// the same grid publish out of order relative to the counters they
+// describe.
+func (g *Grid) addComm(op Op, msgs int64, bytes int64, latSecs, bwSecs float64, class bwClass, redists int64) {
 	latPs, bwPs := picos(latSecs), picos(bwSecs)
 	g.mu.Lock()
 	g.msgs += msgs
@@ -153,9 +238,11 @@ func (g *Grid) addComm(msgs int64, bytes int64, latSecs, bwSecs float64, class b
 	default:
 		g.bwSmallPs += bwPs
 	}
+	g.modeledOpPs[op] += latPs + bwPs
+	g.redistCount += redists
 	g.rankComm(latPs, bwPs)
+	observeComm(op, msgs, bytes, latSecs+bwSecs, redists)
 	g.mu.Unlock()
-	observeComm(msgs, bytes, latSecs+bwSecs)
 }
 
 // Allgather meters an allgather of totalBytes aggregate payload.
@@ -164,7 +251,8 @@ func (g *Grid) Allgather(totalBytes int64) {
 		return
 	}
 	lat, bw := g.Machine.allgatherSeconds(totalBytes)
-	g.addComm(int64(g.Machine.Ranks), totalBytes, lat, bw, bwClassBig)
+	g.addComm(OpAllgather, int64(g.Machine.Ranks), totalBytes, lat, bw, bwClassBig, 0)
+	g.realize(OpAllgather, totalBytes)
 }
 
 // Allreduce meters an allreduce of a bytes-sized buffer replicated on
@@ -174,7 +262,8 @@ func (g *Grid) Allreduce(bytes int64) {
 		return
 	}
 	lat, bw := g.Machine.allgatherSeconds(bytes)
-	g.addComm(2*log2msgs(g.Machine.Ranks), bytes, 2*lat, 2*bw, bwClassSmall)
+	g.addComm(OpAllreduce, 2*log2msgs(g.Machine.Ranks), bytes, 2*lat, 2*bw, bwClassSmall, 0)
+	g.realize(OpAllreduce, bytes)
 }
 
 // AllToAll meters a full redistribution (the cost of a distributed
@@ -183,12 +272,9 @@ func (g *Grid) AllToAll(totalBytes int64) {
 	if g.Machine.Ranks <= 1 {
 		return
 	}
-	g.mu.Lock()
-	g.redistCount++
-	g.mu.Unlock()
-	obsRedists.Add(1)
 	lat, bw := g.Machine.alltoallSeconds(totalBytes)
-	g.addComm(int64(g.Machine.Ranks)*int64(g.Machine.Ranks-1), totalBytes, lat, bw, bwClassBig)
+	g.addComm(OpAllToAll, int64(g.Machine.Ranks)*int64(g.Machine.Ranks-1), totalBytes, lat, bw, bwClassBig, 1)
+	g.realize(OpAllToAll, totalBytes)
 }
 
 // Gather meters collecting a distributed tensor onto one rank (or the
@@ -198,7 +284,8 @@ func (g *Grid) Gather(totalBytes int64) {
 		return
 	}
 	lat, bw := g.Machine.gatherSeconds(totalBytes)
-	g.addComm(int64(g.Machine.Ranks), totalBytes, lat, bw, bwClassBig)
+	g.addComm(OpGather, int64(g.Machine.Ranks), totalBytes, lat, bw, bwClassBig, 0)
+	g.realize(OpGather, totalBytes)
 }
 
 // Bcast meters broadcasting bytes from one rank to all.
@@ -207,7 +294,8 @@ func (g *Grid) Bcast(bytes int64) {
 		return
 	}
 	lat, bw := g.Machine.bcastSeconds(bytes)
-	g.addComm(log2msgs(g.Machine.Ranks), bytes, lat, bw, bwClassSmall)
+	g.addComm(OpBcast, log2msgs(g.Machine.Ranks), bytes, lat, bw, bwClassSmall, 0)
+	g.realize(OpBcast, bytes)
 }
 
 func log2msgs(p int) int64 {
@@ -244,8 +332,8 @@ func (g *Grid) ChargeFlops(n int64, eff int) {
 	}
 	g.compPs += p
 	g.rankComp(p, eff)
-	g.mu.Unlock()
 	observeComp(s)
+	g.mu.Unlock()
 }
 
 // Sequential runs f, measuring the flops it adds to the global tensor
@@ -294,7 +382,7 @@ func (g *Grid) GemmComm(flops, elems int64) {
 	}
 	bwBytes := 2 * bytesPerElem * float64(flops) / float64(p) / math.Sqrt(perRank)
 	rounds := 2 * math.Sqrt(float64(p))
-	g.addComm(int64(rounds), int64(bwBytes), g.Machine.alphaEff()*rounds, g.Machine.betaEff()*bwBytes, bwClassGemm)
+	g.addComm(OpGemm, int64(rounds), int64(bwBytes), g.Machine.alphaEff()*rounds, g.Machine.betaEff()*bwBytes, bwClassGemm, 0)
 }
 
 // --- distributed kernels ---

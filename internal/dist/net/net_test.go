@@ -1,0 +1,324 @@
+package distnet
+
+import (
+	"fmt"
+	"net"
+	"os"
+	"strings"
+	"sync"
+	"syscall"
+	"testing"
+	"time"
+
+	"gokoala/internal/dist"
+)
+
+// TestMain doubles as the rank executable: the driver re-execs the test
+// binary with KOALA_RANK_MODE set, and MaybeRankMain takes over before
+// any test runs.
+func TestMain(m *testing.M) {
+	MaybeRankMain()
+	os.Exit(m.Run())
+}
+
+func startTB(t *testing.T, o Options) *Transport {
+	t.Helper()
+	exe, err := os.Executable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	o.Exe = exe
+	if o.ConnectTimeout == 0 {
+		o.ConnectTimeout = 20 * time.Second
+	}
+	if o.OpTimeout == 0 {
+		o.OpTimeout = 20 * time.Second
+	}
+	tr, err := Start(o)
+	if err != nil {
+		t.Fatalf("Start(%+v): %v", o, err)
+	}
+	t.Cleanup(func() { tr.Close() })
+	return tr
+}
+
+// drive runs a representative mix of collectives against g.
+func drive(g *dist.Grid) {
+	g.Bcast(1 << 12)
+	g.Gather(1 << 14)
+	g.Allgather(3 << 10)
+	g.Allreduce(1 << 13)
+	g.AllToAll(1 << 15)
+	g.Allreduce(257)
+	g.ChargeFlops(1_000_000_000, 4)
+}
+
+func TestCollectivesOverSockets(t *testing.T) {
+	for _, network := range []string{"unix", "tcp"} {
+		for _, ranks := range []int{2, 3, 4} {
+			t.Run(fmt.Sprintf("%s/ranks=%d", network, ranks), func(t *testing.T) {
+				tr := startTB(t, Options{Ranks: ranks, Network: network})
+				for _, op := range dist.Ops() {
+					secs, err := tr.Run(op, 1<<14)
+					if err != nil {
+						t.Fatalf("%v: %v", op, err)
+					}
+					if secs < 0 {
+						t.Fatalf("%v: negative measured seconds %g", op, secs)
+					}
+				}
+				if err := tr.Close(); err != nil {
+					t.Fatalf("Close: %v", err)
+				}
+			})
+		}
+	}
+}
+
+// Modeled Stats must be bit-identical with and without a real transport
+// attached — the transport only adds measured wall-clock.
+func TestModeledStatsIdenticalAcrossTransports(t *testing.T) {
+	const ranks = 4
+	ref := dist.NewGrid(dist.Stampede2(ranks))
+	drive(ref)
+	want := ref.Snapshot().ModeledOnly()
+
+	for _, network := range []string{"unix", "tcp"} {
+		t.Run(network, func(t *testing.T) {
+			tr := startTB(t, Options{Ranks: ranks, Network: network})
+			g := dist.NewGrid(dist.Stampede2(ranks)).SetTransport(tr)
+			drive(g)
+			if err := g.TransportError(); err != nil {
+				t.Fatalf("transport error: %v", err)
+			}
+			got := g.Snapshot()
+			if got.ModeledOnly() != want {
+				t.Errorf("modeled stats diverged:\n got %+v\nwant %+v", got.ModeledOnly(), want)
+			}
+			if got.MeasuredOps == 0 {
+				t.Error("no measured collectives recorded")
+			}
+			if got.MeasuredCommSeconds <= 0 {
+				t.Errorf("measured seconds = %g, want > 0", got.MeasuredCommSeconds)
+			}
+			// 5 collectives + 1 extra allreduce driven above; ChargeFlops
+			// and the P<=1 guard must not hit the transport.
+			if got.MeasuredOps != 6 {
+				t.Errorf("MeasuredOps = %d, want 6", got.MeasuredOps)
+			}
+		})
+	}
+}
+
+// Concurrent Run calls serialize like operations on one communicator.
+func TestConcurrentRunsSerialize(t *testing.T) {
+	tr := startTB(t, Options{Ranks: 2, Network: "unix"})
+	var wg sync.WaitGroup
+	errs := make(chan error, 24)
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for _, op := range []dist.Op{dist.OpBcast, dist.OpAllreduce, dist.OpAllToAll} {
+				if _, err := tr.Run(op, int64(1024+i)); err != nil {
+					errs <- err
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+func TestRanksOneIsNoProcessNoOp(t *testing.T) {
+	tr := startTB(t, Options{Ranks: 1, Network: "unix"})
+	secs, err := tr.Run(dist.OpAllreduce, 1<<20)
+	if err != nil || secs != 0 {
+		t.Fatalf("Run at ranks=1 = (%g, %v), want (0, nil)", secs, err)
+	}
+}
+
+// A killed rank must cancel the job with an error naming the rank, fire
+// OnFailure exactly once, and leave no child processes behind.
+func TestKilledRankCancelsJob(t *testing.T) {
+	exe, err := os.Executable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Rank children inherit our env: make every child die (without
+	// acking) after its first collective.
+	t.Setenv("KOALA_RANK_DIE_AFTER", "1")
+	failed := make(chan error, 1)
+	tr, err := Start(Options{
+		Ranks: 3, Network: "unix", Exe: exe,
+		ConnectTimeout: 20 * time.Second, OpTimeout: 10 * time.Second,
+		OnFailure: func(e error) { failed <- e },
+	})
+	if err != nil {
+		t.Fatalf("Start: %v", err)
+	}
+	defer tr.Close()
+
+	_, err = tr.Run(dist.OpBcast, 1<<12)
+	if err == nil {
+		// The dying rank may have raced the ack; the next collective
+		// must fail for sure.
+		_, err = tr.Run(dist.OpAllreduce, 1<<12)
+	}
+	if err == nil {
+		t.Fatal("Run succeeded twice against dying ranks")
+	}
+	if !strings.Contains(err.Error(), "rank") {
+		t.Errorf("error does not name a rank: %v", err)
+	}
+
+	// Sticky: later Runs fail immediately with the same job error.
+	if _, err2 := tr.Run(dist.OpGather, 1); err2 == nil {
+		t.Error("Run after failure succeeded, want sticky error")
+	}
+
+	select {
+	case e := <-failed:
+		if !strings.Contains(e.Error(), "rank") {
+			t.Errorf("OnFailure error does not name a rank: %v", e)
+		}
+	case <-time.After(10 * time.Second):
+		t.Error("OnFailure not fired")
+	}
+
+	tr.Close()
+	// No orphans: every child must be reaped (Wait returned), and
+	// signalling it must fail because the process is gone.
+	for r, cmd := range tr.procs {
+		if cmd == nil {
+			continue
+		}
+		if cmd.ProcessState == nil {
+			t.Errorf("rank %d not reaped", r)
+		} else if err := cmd.Process.Signal(syscall.Signal(0)); err == nil {
+			t.Errorf("rank %d still signalable after Close", r)
+		}
+	}
+}
+
+// Grid keeps working (modeled-only) after a transport failure, and the
+// sticky error is visible via TransportError.
+func TestGridSurvivesTransportFailure(t *testing.T) {
+	exe, err := os.Executable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Setenv("KOALA_RANK_DIE_AFTER", "1")
+	tr, err := Start(Options{Ranks: 2, Network: "unix", Exe: exe,
+		ConnectTimeout: 20 * time.Second, OpTimeout: 10 * time.Second})
+	if err != nil {
+		t.Fatalf("Start: %v", err)
+	}
+	defer tr.Close()
+
+	g := dist.NewGrid(dist.Stampede2(2)).SetTransport(tr)
+	for i := 0; i < 4; i++ {
+		g.Bcast(1 << 10) // first realization may ack, second fails, rest skip
+	}
+	if g.TransportError() == nil {
+		t.Fatal("TransportError = nil after rank death")
+	}
+	s := g.Snapshot()
+	if s.Msgs == 0 {
+		t.Error("modeled accounting stopped after transport failure")
+	}
+
+	ref := dist.NewGrid(dist.Stampede2(2))
+	for i := 0; i < 4; i++ {
+		ref.Bcast(1 << 10)
+	}
+	if s.ModeledOnly() != ref.Snapshot().ModeledOnly() {
+		t.Error("modeled stats diverged after transport failure")
+	}
+}
+
+func TestBadOptions(t *testing.T) {
+	if _, err := Start(Options{Ranks: 0}); err == nil {
+		t.Error("Ranks=0 accepted")
+	}
+	if _, err := Start(Options{Ranks: 2, Network: "ipx"}); err == nil {
+		t.Error("unknown network accepted")
+	}
+}
+
+func TestWireChecksumRejected(t *testing.T) {
+	a, b, err := socketPair()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	defer b.Close()
+	ca := newConn(a, 5*time.Second)
+	cb := newConn(b, 5*time.Second)
+
+	go ca.writeFrame(ftData, 0, 1, 7, []byte("payload"))
+	if f, err := cb.readFrame(false); err != nil || string(f.body) != "payload" || f.seq != 7 {
+		t.Fatalf("clean frame: %v %q", err, f.body)
+	}
+
+	// Corrupt a frame on the wire: flip a payload byte after framing.
+	raw := frameBytes(ftData, 0, 1, 8, []byte("payload"))
+	raw[headerLen] ^= 0xff
+	go a.Write(raw)
+	if _, err := cb.readFrame(false); err == nil || !strings.Contains(err.Error(), "checksum") {
+		t.Fatalf("corrupt frame accepted: %v", err)
+	}
+}
+
+func TestWireBadMagicRejected(t *testing.T) {
+	a, b, err := socketPair()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	defer b.Close()
+	cb := newConn(b, 5*time.Second)
+	raw := frameBytes(ftData, 0, 1, 1, nil)
+	raw[0] = 0x00
+	go a.Write(raw)
+	if _, err := cb.readFrame(false); err == nil || !strings.Contains(err.Error(), "magic") {
+		t.Fatalf("bad magic accepted: %v", err)
+	}
+}
+
+func TestRankEnvValidation(t *testing.T) {
+	t.Setenv("KOALA_RANK", "x")
+	if _, err := parseRankEnv(); err == nil {
+		t.Error("bad KOALA_RANK accepted")
+	}
+	t.Setenv("KOALA_RANK", "1")
+	t.Setenv("KOALA_RANK_N", "1") // N must exceed rank
+	if _, err := parseRankEnv(); err == nil {
+		t.Error("KOALA_RANK_N <= rank accepted")
+	}
+}
+
+func TestDialRetryGivesUp(t *testing.T) {
+	start := time.Now()
+	_, err := dialRetry("tcp", "127.0.0.1:1", 300*time.Millisecond)
+	if err == nil {
+		t.Skip("something listens on port 1")
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Errorf("dialRetry took %v, want bounded by budget", elapsed)
+	}
+}
+
+// socketPair returns two ends of an in-memory full-duplex connection.
+func socketPair() (net.Conn, net.Conn, error) {
+	a, b := net.Pipe()
+	return a, b, nil
+}
+
+// frameBytes renders one frame to raw bytes for corruption tests.
+func frameBytes(typ, op byte, from uint16, seq uint32, body []byte) []byte {
+	return appendFrame(nil, typ, op, from, seq, body)
+}

@@ -1,0 +1,221 @@
+package distnet
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"gokoala/internal/dist"
+)
+
+// node is one rank's view of the fully connected mesh: conns[r] is the
+// framed link to rank r (nil at the own index). Rank 0 is always the
+// driver process; ranks 1..P-1 are koala-rank children. The same
+// collective algorithms run on both sides.
+//
+// Collectives move synthetic payloads: the grid meters collectives by
+// aggregate byte count, not by tensor contents (the numerics live in
+// shared memory either way), so the transport realizes each collective
+// as the same communication pattern over pattern-filled buffers. That
+// is what keeps results bit-identical across transports while the
+// measured wall-clock is real.
+type node struct {
+	rank     int
+	ranks    int
+	conns    []*conn
+	maxFrame int
+}
+
+// payload returns a deterministic pattern-filled buffer of n bytes (at
+// least 1, at most maxFrame) so checksums exercise real data movement.
+func (n *node) payload(size int64, seq uint32) []byte {
+	if size < 1 {
+		size = 1
+	}
+	if size > int64(n.maxFrame) {
+		size = int64(n.maxFrame)
+	}
+	b := make([]byte, size)
+	x := byte(n.rank*31) ^ byte(seq) ^ byte(seq>>8)
+	for i := range b {
+		b[i] = x + byte(i)
+	}
+	return b
+}
+
+func (n *node) send(to int, seq uint32, body []byte) error {
+	if err := n.conns[to].writeFrame(ftData, 0, uint16(n.rank), seq, body); err != nil {
+		return fmt.Errorf("send to rank %d: %w", to, err)
+	}
+	return nil
+}
+
+func (n *node) recv(from int, seq uint32) ([]byte, error) {
+	f, err := n.conns[from].expectFrame(ftData, seq)
+	if err != nil {
+		return nil, fmt.Errorf("recv from rank %d: %w", from, err)
+	}
+	return f.body, nil
+}
+
+// asyncSend issues the send on a goroutine and returns a channel with
+// its result, so a rank can post its outgoing message before blocking
+// on the matching receive (ring and pairwise exchanges deadlock
+// otherwise once payloads exceed the socket buffer).
+func (n *node) asyncSend(to int, seq uint32, body []byte) <-chan error {
+	ch := make(chan error, 1)
+	go func() { ch <- n.send(to, seq, body) }()
+	return ch
+}
+
+// run executes one collective with the given aggregate byte count. Every
+// rank of the job calls run with the same (op, total, seq) triple; the
+// patterns below are the textbook small-P algorithms, chosen to mirror
+// the grid's modeled message counts (binomial bcast/reduce, linear
+// gather, ring allgather, pairwise alltoall).
+func (n *node) run(op dist.Op, total int64, seq uint32) error {
+	if n.ranks <= 1 {
+		return nil
+	}
+	switch op {
+	case dist.OpBcast:
+		return n.bcast(total, seq)
+	case dist.OpGather:
+		return n.gather(total, seq)
+	case dist.OpAllgather:
+		return n.allgather(total, seq)
+	case dist.OpAllreduce:
+		return n.allreduce(total, seq)
+	case dist.OpAllToAll:
+		return n.alltoall(total, seq)
+	}
+	return fmt.Errorf("collective %v has no transport realization", op)
+}
+
+// bcast: binomial tree rooted at rank 0, log2(P) rounds. In round k a
+// rank that already holds the data (rank < 2^k) forwards to rank+2^k.
+func (n *node) bcast(total int64, seq uint32) error {
+	_, err := n.downcast(n.payload(total, seq), seq)
+	return err
+}
+
+// downcast runs the binomial broadcast of buf from rank 0; every rank
+// returns the (received) buffer. Shared by bcast and the second phase
+// of allreduce.
+func (n *node) downcast(buf []byte, seq uint32) ([]byte, error) {
+	have := n.rank == 0
+	for stride := 1; stride < n.ranks; stride <<= 1 {
+		if have && n.rank < stride && n.rank+stride < n.ranks {
+			if err := n.send(n.rank+stride, seq, buf); err != nil {
+				return nil, err
+			}
+		} else if !have && n.rank >= stride && n.rank < stride<<1 {
+			b, err := n.recv(n.rank-stride, seq)
+			if err != nil {
+				return nil, err
+			}
+			buf = b
+			have = true
+		}
+	}
+	return buf, nil
+}
+
+// gather: linear gather to rank 0; each rank owns total/P bytes.
+func (n *node) gather(total int64, seq uint32) error {
+	share := total / int64(n.ranks)
+	if n.rank == 0 {
+		for r := 1; r < n.ranks; r++ {
+			if _, err := n.recv(r, seq); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	return n.send(0, seq, n.payload(share, seq))
+}
+
+// allgather: ring with P-1 steps; each step forwards a share of
+// total/P bytes to the right neighbor while receiving from the left.
+func (n *node) allgather(total int64, seq uint32) error {
+	share := n.payload(total/int64(n.ranks), seq)
+	right := (n.rank + 1) % n.ranks
+	left := (n.rank + n.ranks - 1) % n.ranks
+	for step := 0; step < n.ranks-1; step++ {
+		sent := n.asyncSend(right, seq, share)
+		got, err := n.recv(left, seq)
+		if err != nil {
+			return err
+		}
+		if err := <-sent; err != nil {
+			return err
+		}
+		share = got // forward what arrived, as a real ring would
+	}
+	return nil
+}
+
+// allreduce: binomial reduce to rank 0 followed by binomial bcast —
+// 2*log2(P) rounds, matching the modeled charge of twice the allgather
+// latency and bandwidth. The "reduction" XORs buffers so the payload
+// content actually depends on every contribution.
+func (n *node) allreduce(total int64, seq uint32) error {
+	buf := n.payload(total, seq)
+	// Reduce: in round k, ranks with the 2^k bit set send to rank-2^k
+	// and drop out of the up phase; receivers fold the contribution in.
+	for stride := 1; stride < n.ranks; stride <<= 1 {
+		if n.rank&stride != 0 {
+			if err := n.send(n.rank-stride, seq, buf); err != nil {
+				return err
+			}
+			break
+		}
+		if n.rank+stride < n.ranks {
+			got, err := n.recv(n.rank+stride, seq)
+			if err != nil {
+				return err
+			}
+			for i := range buf {
+				if i < len(got) {
+					buf[i] ^= got[i]
+				}
+			}
+		}
+	}
+	// Broadcast the reduced buffer back down; every rank participates.
+	_, err := n.downcast(buf, seq)
+	return err
+}
+
+// alltoall: pairwise exchange, P-1 rounds; in round k rank r exchanges
+// a total/P^2 chunk with rank r XOR k (power-of-two P) or (r+k) mod P
+// paired with (r-k) mod P otherwise.
+func (n *node) alltoall(total int64, seq uint32) error {
+	chunk := total / int64(n.ranks*n.ranks)
+	buf := n.payload(chunk, seq)
+	for k := 1; k < n.ranks; k++ {
+		sendTo := (n.rank + k) % n.ranks
+		recvFrom := (n.rank + n.ranks - k) % n.ranks
+		sent := n.asyncSend(sendTo, seq, buf)
+		if _, err := n.recv(recvFrom, seq); err != nil {
+			return err
+		}
+		if err := <-sent; err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// cmdBody encodes a collective's aggregate byte count for a cmd frame.
+func cmdBody(total int64) []byte {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], uint64(total))
+	return b[:]
+}
+
+func cmdTotal(body []byte) (int64, error) {
+	if len(body) != 8 {
+		return 0, fmt.Errorf("malformed cmd payload (%d bytes)", len(body))
+	}
+	return int64(binary.LittleEndian.Uint64(body)), nil
+}

@@ -1,0 +1,248 @@
+package distnet
+
+import (
+	"fmt"
+	"net"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"time"
+
+	"gokoala/internal/dist"
+)
+
+// MaybeRankMain turns the current process into a rank endpoint when the
+// KOALA_RANK_MODE environment variable is set (the hidden koala-rank
+// mode: the driver re-execs its own binary for ranks 1..P-1). It never
+// returns in that case — the rank loop runs until the driver sends bye
+// or its control connection drops, then the process exits. In a normal
+// invocation it is a no-op. Every CLI entry point calls this first,
+// before flag parsing, so any koala binary can serve as the rank
+// executable.
+func MaybeRankMain() {
+	if os.Getenv("KOALA_RANK_MODE") == "" {
+		return
+	}
+	if err := rankMain(); err != nil {
+		fmt.Fprintf(os.Stderr, "koala-rank: %v\n", err)
+		os.Exit(1)
+	}
+	os.Exit(0)
+}
+
+type rankEnv struct {
+	rank     int
+	ranks    int
+	network  string
+	addr     string // driver (rank 0) listen address
+	dir      string // unix socket dir
+	token    string
+	timeout  time.Duration
+	dieAfter int // KOALA_RANK_DIE_AFTER: exit after N commands (fault injection)
+}
+
+func parseRankEnv() (rankEnv, error) {
+	var e rankEnv
+	var err error
+	if e.rank, err = strconv.Atoi(os.Getenv("KOALA_RANK")); err != nil || e.rank < 1 {
+		return e, fmt.Errorf("bad KOALA_RANK %q", os.Getenv("KOALA_RANK"))
+	}
+	if e.ranks, err = strconv.Atoi(os.Getenv("KOALA_RANK_N")); err != nil || e.ranks <= e.rank {
+		return e, fmt.Errorf("bad KOALA_RANK_N %q", os.Getenv("KOALA_RANK_N"))
+	}
+	e.network = os.Getenv("KOALA_RANK_NET")
+	if e.network != "unix" && e.network != "tcp" {
+		return e, fmt.Errorf("bad KOALA_RANK_NET %q", e.network)
+	}
+	e.addr = os.Getenv("KOALA_RANK_ADDR")
+	e.dir = os.Getenv("KOALA_RANK_DIR")
+	e.token = os.Getenv("KOALA_RANK_TOKEN")
+	if e.addr == "" || e.token == "" {
+		return e, fmt.Errorf("missing KOALA_RANK_ADDR/KOALA_RANK_TOKEN")
+	}
+	e.timeout = 30 * time.Second
+	if s := os.Getenv("KOALA_RANK_TIMEOUT"); s != "" {
+		if d, err := time.ParseDuration(s); err == nil && d > 0 {
+			e.timeout = d
+		}
+	}
+	e.dieAfter = -1
+	if s := os.Getenv("KOALA_RANK_DIE_AFTER"); s != "" {
+		if v, err := strconv.Atoi(s); err == nil && v >= 0 {
+			e.dieAfter = v
+		}
+	}
+	return e, nil
+}
+
+func rankMain() error {
+	e, err := parseRankEnv()
+	if err != nil {
+		return err
+	}
+
+	// Listen for peers with a higher rank before announcing ourselves,
+	// so the driver can hand out an address that already accepts.
+	var ln net.Listener
+	switch e.network {
+	case "unix":
+		ln, err = net.Listen("unix", filepath.Join(e.dir, fmt.Sprintf("r%d.sock", e.rank)))
+	case "tcp":
+		ln, err = net.Listen("tcp", "127.0.0.1:0")
+	}
+	if err != nil {
+		return fmt.Errorf("rank %d listen: %w", e.rank, err)
+	}
+	defer ln.Close()
+
+	// Control connection to the driver: hello(token + own address),
+	// then the peer address list.
+	raw, err := dialRetry(e.network, e.addr, e.timeout)
+	if err != nil {
+		return fmt.Errorf("rank %d dial driver: %w", e.rank, err)
+	}
+	control := newConn(raw, e.timeout)
+	hello := []byte(e.token + "\n" + ln.Addr().String())
+	if err := control.writeFrame(ftHello, 0, uint16(e.rank), 0, hello); err != nil {
+		return fmt.Errorf("rank %d hello: %w", e.rank, err)
+	}
+	pf, err := control.expectFrame(ftPeers, 0)
+	if err != nil {
+		return fmt.Errorf("rank %d peers: %w", e.rank, err)
+	}
+	addrs := strings.Split(string(pf.body), "\n")
+	if len(addrs) != e.ranks {
+		return fmt.Errorf("rank %d: peer list has %d entries, want %d", e.rank, len(addrs), e.ranks)
+	}
+
+	// Mesh wiring: dial every lower rank (they listen), accept every
+	// higher rank (we listen). Rank 0's link is the control connection.
+	conns := make([]*conn, e.ranks)
+	conns[0] = control
+	type dialRes struct {
+		r   int
+		c   *conn
+		err error
+	}
+	ch := make(chan dialRes, e.ranks)
+	for r := 1; r < e.rank; r++ {
+		go func(r int) {
+			raw, err := dialRetry(e.network, addrs[r], e.timeout)
+			if err != nil {
+				ch <- dialRes{r: r, err: err}
+				return
+			}
+			c := newConn(raw, e.timeout)
+			if err := c.writeFrame(ftHello, 0, uint16(e.rank), 0, []byte(e.token+"\n-")); err != nil {
+				ch <- dialRes{r: r, err: err}
+				return
+			}
+			ch <- dialRes{r: r, c: c}
+		}(r)
+	}
+	go func() {
+		for i := e.rank + 1; i < e.ranks; i++ {
+			raw, err := ln.Accept()
+			if err != nil {
+				ch <- dialRes{r: -1, err: err}
+				return
+			}
+			c := newConn(raw, e.timeout)
+			f, err := c.expectFrame(ftHello, 0)
+			if err != nil {
+				ch <- dialRes{r: -1, err: err}
+				return
+			}
+			tok := strings.SplitN(string(f.body), "\n", 2)
+			if len(tok) != 2 || tok[0] != e.token {
+				ch <- dialRes{r: -1, err: fmt.Errorf("peer hello rejected: bad token")}
+				return
+			}
+			ch <- dialRes{r: int(f.from), c: c}
+		}
+	}()
+	need := e.ranks - 2 // everyone but self and rank 0
+	for i := 0; i < need; i++ {
+		res := <-ch
+		if res.err != nil {
+			return fmt.Errorf("rank %d mesh: %w", e.rank, res.err)
+		}
+		if res.r < 1 || res.r >= e.ranks || conns[res.r] != nil {
+			return fmt.Errorf("rank %d mesh: invalid peer rank %d", e.rank, res.r)
+		}
+		conns[res.r] = res.c
+	}
+
+	if err := control.writeFrame(ftReady, 0, uint16(e.rank), 0, nil); err != nil {
+		return fmt.Errorf("rank %d ready: %w", e.rank, err)
+	}
+
+	n := &node{rank: e.rank, ranks: e.ranks, conns: conns, maxFrame: maxFrameEnv()}
+
+	// Command loop: block (no deadline) on the driver's next frame — the
+	// driver may compute for a long time between collectives, and a dead
+	// driver surfaces as EOF either way.
+	done := 0
+	for {
+		f, err := control.readFrame(true)
+		if err != nil {
+			// Driver gone: EOF/reset is normal teardown, exit quietly.
+			return nil
+		}
+		switch f.typ {
+		case ftBye:
+			return nil
+		case ftCmd:
+			total, err := cmdTotal(f.body)
+			if err != nil {
+				return fmt.Errorf("rank %d: %w", e.rank, err)
+			}
+			if err := n.run(dist.Op(f.op), total, f.seq); err != nil {
+				msg := fmt.Sprintf("rank %d %v: %v", e.rank, dist.Op(f.op), err)
+				control.writeFrame(ftErr, f.op, uint16(e.rank), f.seq, []byte(msg))
+				return fmt.Errorf("%s", msg)
+			}
+			done++
+			if e.dieAfter >= 0 && done >= e.dieAfter {
+				// Fault injection: die without acking, mid-job.
+				os.Exit(3)
+			}
+			if err := control.writeFrame(ftAck, f.op, uint16(e.rank), f.seq, nil); err != nil {
+				return fmt.Errorf("rank %d ack: %w", e.rank, err)
+			}
+		default:
+			return fmt.Errorf("rank %d: unexpected frame type %d", e.rank, f.typ)
+		}
+	}
+}
+
+func maxFrameEnv() int {
+	if s := os.Getenv("KOALA_RANK_MAXFRAME"); s != "" {
+		if v, err := strconv.Atoi(s); err == nil && v > 0 {
+			return v
+		}
+	}
+	return 4 << 20
+}
+
+// dialRetry dials with bounded retry: peers come up asynchronously, so
+// early connection refusals are expected and retried until the budget
+// runs out.
+func dialRetry(network, addr string, budget time.Duration) (net.Conn, error) {
+	deadline := time.Now().Add(budget)
+	delay := 2 * time.Millisecond
+	for {
+		c, err := net.DialTimeout(network, addr, time.Until(deadline))
+		if err == nil {
+			return c, nil
+		}
+		if time.Now().After(deadline) {
+			return nil, err
+		}
+		time.Sleep(delay)
+		if delay < 100*time.Millisecond {
+			delay *= 2
+		}
+	}
+}

@@ -1,0 +1,422 @@
+package distnet
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"gokoala/internal/dist"
+	"gokoala/internal/telemetry"
+)
+
+// Options configures a socket transport job.
+type Options struct {
+	Ranks   int    // total ranks including the driver (rank 0)
+	Network string // "unix" (default) or "tcp" (loopback)
+
+	// Dir holds the Unix sockets; defaults to a fresh temp dir that is
+	// removed on Close. Ignored for tcp.
+	Dir string
+
+	// Exe is the rank binary; defaults to the running executable
+	// (children run the hidden koala-rank mode via KOALA_RANK_MODE).
+	Exe string
+
+	ConnectTimeout time.Duration // spawn+handshake budget (default 10s)
+	OpTimeout      time.Duration // per-frame I/O deadline in collectives (default 30s)
+	MaxFrame       int           // synthetic payload cap per message (default 4 MiB)
+
+	// OnFailure is invoked exactly once, after teardown, with the first
+	// transport error. The CLI default prints the error and exits so a
+	// dead rank cancels the whole job.
+	OnFailure func(error)
+
+	// Stderr receives the children's stderr (default os.Stderr).
+	Stderr io.Writer
+}
+
+func (o *Options) defaults() error {
+	if o.Ranks < 1 {
+		return fmt.Errorf("dist/net: ranks must be >= 1, got %d", o.Ranks)
+	}
+	if o.Ranks > 1<<12 {
+		return fmt.Errorf("dist/net: ranks %d beyond sane process budget", o.Ranks)
+	}
+	switch o.Network {
+	case "":
+		o.Network = "unix"
+	case "unix", "tcp":
+	default:
+		return fmt.Errorf("dist/net: unknown network %q (want unix or tcp)", o.Network)
+	}
+	if o.Exe == "" {
+		exe, err := os.Executable()
+		if err != nil {
+			return fmt.Errorf("dist/net: resolve executable: %w", err)
+		}
+		o.Exe = exe
+	}
+	if o.ConnectTimeout <= 0 {
+		o.ConnectTimeout = 10 * time.Second
+	}
+	if o.OpTimeout <= 0 {
+		o.OpTimeout = 30 * time.Second
+	}
+	if o.MaxFrame <= 0 {
+		o.MaxFrame = 4 << 20
+	}
+	return nil
+}
+
+// Transport implements dist.Transport over real rank processes. One
+// collective runs at a time (Run serializes, like operations on an MPI
+// communicator); the first error permanently fails the transport,
+// tears the job down, and fires Options.OnFailure.
+type Transport struct {
+	o     Options
+	n     *node
+	ln    net.Listener
+	dir   string // temp socket dir we created (removed on Close)
+	token string
+
+	procs  []*exec.Cmd     // index 1..Ranks-1; [0] nil
+	exited []chan struct{} // closed by a rank's monitor once reaped
+
+	mu      sync.Mutex
+	seq     uint32
+	err     error
+	closing bool
+	dead    map[int]error // rank -> exit cause, recorded by monitors
+	wg      sync.WaitGroup
+}
+
+var _ dist.Transport = (*Transport)(nil)
+
+// Start launches ranks 1..Ranks-1 as koala-rank child processes of the
+// given binary, builds the fully connected mesh, and returns once every
+// rank reported ready. Ranks==1 degenerates to a no-process transport
+// whose Run is an immediate no-op (the grid never realizes collectives
+// at P<=1 anyway).
+func Start(o Options) (*Transport, error) {
+	if err := o.defaults(); err != nil {
+		return nil, err
+	}
+	t := &Transport{o: o, dead: make(map[int]error)}
+	if o.Ranks == 1 {
+		t.n = &node{rank: 0, ranks: 1, maxFrame: o.MaxFrame}
+		return t, nil
+	}
+	if err := t.start(); err != nil {
+		t.teardown()
+		return nil, fmt.Errorf("dist/net: start: %w", err)
+	}
+	return t, nil
+}
+
+func (t *Transport) start() error {
+	tok := make([]byte, 16)
+	if _, err := rand.Read(tok); err != nil {
+		return err
+	}
+	t.token = hex.EncodeToString(tok)
+
+	// Driver listener: children dial it for their control connection.
+	var err error
+	switch t.o.Network {
+	case "unix":
+		dir := t.o.Dir
+		if dir == "" {
+			dir, err = os.MkdirTemp("", "koala-dist-")
+			if err != nil {
+				return err
+			}
+			t.dir = dir
+		}
+		t.ln, err = net.Listen("unix", filepath.Join(dir, "r0.sock"))
+	case "tcp":
+		t.ln, err = net.Listen("tcp", "127.0.0.1:0")
+	}
+	if err != nil {
+		return err
+	}
+
+	stderr := t.o.Stderr
+	if stderr == nil {
+		stderr = os.Stderr
+	}
+	sockDir := t.o.Dir
+	if sockDir == "" {
+		sockDir = t.dir
+	}
+	t.procs = make([]*exec.Cmd, t.o.Ranks)
+	t.exited = make([]chan struct{}, t.o.Ranks)
+	for r := 1; r < t.o.Ranks; r++ {
+		cmd := exec.Command(t.o.Exe)
+		cmd.Env = append(os.Environ(),
+			"KOALA_RANK_MODE=1",
+			"KOALA_RANK="+strconv.Itoa(r),
+			"KOALA_RANK_N="+strconv.Itoa(t.o.Ranks),
+			"KOALA_RANK_NET="+t.o.Network,
+			"KOALA_RANK_ADDR="+t.ln.Addr().String(),
+			"KOALA_RANK_DIR="+sockDir,
+			"KOALA_RANK_TOKEN="+t.token,
+			"KOALA_RANK_TIMEOUT="+t.o.OpTimeout.String(),
+			"KOALA_RANK_MAXFRAME="+strconv.Itoa(t.o.MaxFrame),
+		)
+		cmd.Stdout = stderr
+		cmd.Stderr = stderr
+		if err := cmd.Start(); err != nil {
+			return fmt.Errorf("spawn rank %d: %w", r, err)
+		}
+		t.procs[r] = cmd
+		t.exited[r] = make(chan struct{})
+		t.wg.Add(1)
+		go t.monitor(r)
+	}
+
+	// Accept one control connection per child; hello carries the rank,
+	// the shared-secret token, and the child's own listen address.
+	conns := make([]*conn, t.o.Ranks)
+	addrs := make([]string, t.o.Ranks)
+	deadline := time.Now().Add(t.o.ConnectTimeout)
+	for i := 1; i < t.o.Ranks; i++ {
+		setAcceptDeadline(t.ln, deadline)
+		raw, err := t.ln.Accept()
+		if err != nil {
+			return fmt.Errorf("accept rank handshake: %w (%v)", err, t.deadSummary())
+		}
+		c := newConn(raw, t.o.OpTimeout)
+		f, err := c.expectFrame(ftHello, 0)
+		if err != nil {
+			return fmt.Errorf("rank hello: %w", err)
+		}
+		tokAddr := strings.SplitN(string(f.body), "\n", 2)
+		if len(tokAddr) != 2 || tokAddr[0] != t.token {
+			raw.Close()
+			return fmt.Errorf("rank %d hello rejected: bad token", f.from)
+		}
+		r := int(f.from)
+		if r < 1 || r >= t.o.Ranks || conns[r] != nil {
+			raw.Close()
+			return fmt.Errorf("rank hello with invalid rank %d", r)
+		}
+		conns[r] = c
+		addrs[r] = tokAddr[1]
+	}
+
+	// Tell every child where its peers listen, then wait for each to
+	// finish its own mesh wiring and report ready.
+	peers := []byte(strings.Join(addrs, "\n"))
+	for r := 1; r < t.o.Ranks; r++ {
+		if err := conns[r].writeFrame(ftPeers, 0, 0, 0, peers); err != nil {
+			return fmt.Errorf("send peers to rank %d: %w", r, err)
+		}
+	}
+	for r := 1; r < t.o.Ranks; r++ {
+		if _, err := conns[r].expectFrame(ftReady, 0); err != nil {
+			return fmt.Errorf("rank %d ready: %w", r, err)
+		}
+	}
+
+	t.mu.Lock()
+	t.n = &node{rank: 0, ranks: t.o.Ranks, conns: conns, maxFrame: t.o.MaxFrame}
+	t.mu.Unlock()
+	return nil
+}
+
+func setAcceptDeadline(ln net.Listener, d time.Time) {
+	type deadliner interface{ SetDeadline(time.Time) error }
+	if dl, ok := ln.(deadliner); ok {
+		dl.SetDeadline(d)
+	}
+}
+
+// monitor reaps one child (started at spawn time, so no child is ever
+// left a zombie). An exit before Close is a transport failure: the
+// cause is recorded for error attribution and the rank's connection is
+// closed so any collective blocked on it fails immediately.
+func (t *Transport) monitor(r int) {
+	defer t.wg.Done()
+	err := t.procs[r].Wait()
+	close(t.exited[r])
+	t.mu.Lock()
+	closing := t.closing
+	if !closing {
+		if err == nil {
+			err = errors.New("exited before job end")
+		}
+		t.dead[r] = err
+		if t.n != nil && t.n.conns != nil && t.n.conns[r] != nil {
+			t.n.conns[r].Close()
+		}
+	}
+	t.mu.Unlock()
+	if !closing {
+		// Surface the failure even if the driver is between collectives.
+		t.fail(fmt.Errorf("rank %d died: %v", r, err))
+	}
+}
+
+func (t *Transport) Name() string { return "net/" + t.o.Network }
+func (t *Transport) Ranks() int   { return t.o.Ranks }
+
+// Run executes one collective across all ranks and returns its measured
+// wall-clock seconds (command fan-out through last acknowledgement).
+func (t *Transport) Run(op dist.Op, totalBytes int64) (float64, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.err != nil {
+		return 0, t.err
+	}
+	if t.closing {
+		return 0, errors.New("dist/net: transport closed")
+	}
+	if t.o.Ranks == 1 {
+		return 0, nil
+	}
+	t.seq++
+	seq := t.seq
+	start := time.Now()
+	for r := 1; r < t.o.Ranks; r++ {
+		if err := t.n.conns[r].writeFrame(ftCmd, byte(op), 0, seq, cmdBody(totalBytes)); err != nil {
+			return 0, t.failLocked(fmt.Errorf("command rank %d: %w", r, err))
+		}
+	}
+	if err := t.n.run(op, totalBytes, seq); err != nil {
+		return 0, t.failLocked(fmt.Errorf("%v: %w", op, err))
+	}
+	for r := 1; r < t.o.Ranks; r++ {
+		if _, err := t.n.conns[r].expectFrame(ftAck, seq); err != nil {
+			return 0, t.failLocked(fmt.Errorf("%v ack from rank %d: %w", op, r, err))
+		}
+	}
+	secs := time.Since(start).Seconds()
+	telemetry.Observe("dist_measured_comm_seconds", secs,
+		telemetry.Label{Key: "op", Value: op.String()})
+	return secs, nil
+}
+
+// fail records err as the sticky transport error (unless one is already
+// set), tears the job down, and fires OnFailure once.
+func (t *Transport) fail(err error) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.failLocked(err)
+}
+
+func (t *Transport) failLocked(err error) error {
+	if t.err != nil {
+		return t.err
+	}
+	if t.closing {
+		return err
+	}
+	// Attribute to a recorded child death when one explains the I/O error.
+	if len(t.dead) > 0 {
+		err = fmt.Errorf("%w (%s)", err, t.deadSummary())
+	}
+	t.err = fmt.Errorf("dist/net: %w", err)
+	t.teardownLocked()
+	if t.o.OnFailure != nil {
+		go t.o.OnFailure(t.err)
+	}
+	return t.err
+}
+
+func (t *Transport) deadSummary() string {
+	if len(t.dead) == 0 {
+		return "no ranks reported dead"
+	}
+	parts := make([]string, 0, len(t.dead))
+	for r, e := range t.dead {
+		parts = append(parts, fmt.Sprintf("rank %d: %v", r, e))
+	}
+	return strings.Join(parts, "; ")
+}
+
+// Close tears the job down: children get a bye frame (they exit on it,
+// or on the control-connection EOF that follows), stragglers are
+// killed, and the socket dir is removed. No orphans survive Close.
+func (t *Transport) Close() error {
+	t.mu.Lock()
+	if t.closing {
+		t.mu.Unlock()
+		t.wg.Wait()
+		return nil
+	}
+	t.closing = true
+	if t.n != nil && t.n.conns != nil {
+		for r := 1; r < t.o.Ranks; r++ {
+			if c := t.n.conns[r]; c != nil {
+				c.writeFrame(ftBye, 0, 0, 0, nil)
+			}
+		}
+	}
+	t.teardownLocked()
+	t.mu.Unlock()
+	t.wg.Wait()
+	return nil
+}
+
+// teardown outside a held lock (start-path cleanup).
+func (t *Transport) teardown() {
+	t.mu.Lock()
+	t.closing = true
+	t.teardownLocked()
+	t.mu.Unlock()
+	t.wg.Wait()
+}
+
+// teardownLocked closes the mesh and reaps every child, escalating to
+// SIGKILL after a grace period. Called with t.mu held; marks closing so
+// monitors treat subsequent exits as expected.
+func (t *Transport) teardownLocked() {
+	t.closing = true
+	if t.ln != nil {
+		t.ln.Close()
+		t.ln = nil
+	}
+	if t.n != nil && t.n.conns != nil {
+		for _, c := range t.n.conns {
+			if c != nil {
+				c.Close()
+			}
+		}
+	}
+	for r, cmd := range t.procs {
+		if cmd == nil || cmd.Process == nil {
+			continue
+		}
+		if _, dead := t.dead[r]; dead {
+			continue
+		}
+		// Children exit on bye/EOF; give each a grace period, then kill.
+		// The spawn-time monitor reaps it either way.
+		go func(cmd *exec.Cmd, exited <-chan struct{}) {
+			select {
+			case <-exited:
+			case <-time.After(2 * time.Second):
+				cmd.Process.Kill()
+			}
+		}(cmd, t.exited[r])
+	}
+	if t.dir != "" {
+		dir := t.dir
+		t.dir = ""
+		// Remove once the children (whose sockets live there) are gone.
+		go func() {
+			t.wg.Wait()
+			os.RemoveAll(dir)
+		}()
+	}
+}

@@ -1,0 +1,106 @@
+package dist
+
+// Op identifies one of the grid's metered communication patterns. The
+// five collectives (bcast, gather, allgather, allreduce, alltoall) have
+// real point-to-point realizations in the socket transport
+// (internal/dist/net); OpGemm is the GEMM communication lower bound of
+// GemmComm, which has no collective realization — its real counterpart
+// is the block kernel's operand movement, which shared memory provides
+// — so it stays modeled-only.
+type Op uint8
+
+const (
+	OpBcast Op = iota
+	OpGather
+	OpAllgather
+	OpAllreduce
+	OpAllToAll
+	OpGemm
+	NumOps
+)
+
+var opNames = [NumOps]string{"bcast", "gather", "allgather", "allreduce", "alltoall", "gemm"}
+
+func (o Op) String() string {
+	if int(o) < len(opNames) {
+		return opNames[o]
+	}
+	return "unknown"
+}
+
+// Ops returns the collective ops a transport realizes (everything but
+// OpGemm), in wire order.
+func Ops() []Op {
+	return []Op{OpBcast, OpGather, OpAllgather, OpAllreduce, OpAllToAll}
+}
+
+// Transport moves real bytes between rank processes for each collective
+// the grid meters. The grid's modeled alpha-beta-gamma accounting is
+// independent of the transport — modeled Stats are bit-identical whether
+// a transport is attached or not — while the transport contributes the
+// *measured* wall-clock seconds recorded beside the modeled ones.
+//
+// A nil transport is the in-process engine: ranks are goroutines over
+// shared memory, collectives are metering-only, and no measured time is
+// recorded. That is the deterministic CI surface and the default.
+//
+// Run executes one collective with a synthetic payload of the given
+// aggregate byte count and returns the measured wall seconds. A
+// transport must be safe for concurrent Run calls (the grid is driven
+// by concurrent task-group workers); implementations serialize
+// internally, exactly as collectives on one MPI communicator are
+// ordered. After the first error a transport is permanently failed:
+// every later Run returns the same error immediately.
+type Transport interface {
+	Name() string
+	Ranks() int
+	Run(op Op, totalBytes int64) (seconds float64, err error)
+	Close() error
+}
+
+// SetTransport attaches a transport whose collectives are executed for
+// real alongside the modeled accounting; nil detaches (in-process mode).
+// Returns the grid for chaining. Attach before driving the grid.
+func (g *Grid) SetTransport(t Transport) *Grid {
+	g.mu.Lock()
+	g.transport = t
+	g.mu.Unlock()
+	return g
+}
+
+// TransportError returns the first error the attached transport hit, or
+// nil. After a transport error the grid stops driving the transport (the
+// modeled accounting continues), so a run's driver can check this once
+// at the end rather than after every operation.
+func (g *Grid) TransportError() error {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.transportErr
+}
+
+// realize executes op on the attached transport (if any) and records
+// the measured wall seconds beside the modeled accounting. Called
+// outside g.mu: Run blocks on real sockets.
+func (g *Grid) realize(op Op, bytes int64) {
+	g.mu.Lock()
+	t, terr := g.transport, g.transportErr
+	g.mu.Unlock()
+	if t == nil || terr != nil {
+		return
+	}
+	secs, err := t.Run(op, bytes)
+	if err != nil {
+		g.mu.Lock()
+		if g.transportErr == nil {
+			g.transportErr = err
+		}
+		g.mu.Unlock()
+		return
+	}
+	ps := picos(secs)
+	g.mu.Lock()
+	g.measOps[op]++
+	g.measPs[op] += ps
+	observeMeasured(op, secs)
+	g.mu.Unlock()
+}

@@ -17,7 +17,10 @@ type ReportDoc struct {
 	Top          map[string][]SpanDoc `json:"top_spans,omitempty"`
 	CriticalPath *CriticalPathDoc     `json:"critical_path,omitempty"`
 	Ranks        []RankRow            `json:"ranks,omitempty"`
-	Metrics      map[string]float64   `json:"metrics,omitempty"`
+	// Collectives is the per-collective modeled-vs-measured table; the
+	// measured columns stay zero for in-process (modeled-only) runs.
+	Collectives []CollectiveRow    `json:"collectives,omitempty"`
+	Metrics     map[string]float64 `json:"metrics,omitempty"`
 }
 
 // PhaseDoc is one per-phase aggregate row.
@@ -115,5 +118,6 @@ func BuildReport(t *Trace, topK int) *ReportDoc {
 		doc.CriticalPath = cp
 	}
 	doc.Ranks = t.RankTable()
+	doc.Collectives = t.Collectives()
 	return doc
 }

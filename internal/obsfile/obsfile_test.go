@@ -209,6 +209,10 @@ func TestDeterministicMetricPredicate(t *testing.T) {
 		"pool.group.tasks", "pool.group.inline", "pool.tasks", "pool.inline",
 		"pool.queue_wait_seconds", "einsum.plan.hits", "einsum.plan.misses",
 		"mem.peak_bytes", "mem.live_bytes", "svd.trunc_error",
+		// Real-transport wall clock lives under the dist. prefix but must
+		// never be diffed or gated.
+		"dist.measured.comm_seconds", "dist.measured.allreduce_seconds",
+		"dist.measured.alltoall_ops", "dist.measured.comm_ops",
 	}
 	for _, n := range yes {
 		if !DeterministicMetric(n) {

@@ -14,6 +14,7 @@
 package pool
 
 import (
+	"fmt"
 	"os"
 	"runtime"
 	"strconv"
@@ -60,14 +61,36 @@ const queueDepth = 8
 // envWorkers reads the KOALA_WORKERS environment variable once; a
 // positive integer overrides the GOMAXPROCS default pool size (the
 // tuning knob of long-running services and benchmark sweeps — see the
-// README tuning notes). SetWorkers still takes precedence.
+// README tuning notes). SetWorkers still takes precedence. An invalid
+// or non-positive value is rejected with a one-line warning instead of
+// silently poisoning the worker budget.
 var envWorkers = sync.OnceValue(func() int {
-	n, err := strconv.Atoi(os.Getenv("KOALA_WORKERS"))
-	if err != nil || n <= 0 {
-		return 0
+	n, bad := ParseWorkers(os.Getenv("KOALA_WORKERS"))
+	if bad != "" {
+		fmt.Fprintf(os.Stderr, "koala: ignoring KOALA_WORKERS=%s: %s; using default (%d workers)\n",
+			os.Getenv("KOALA_WORKERS"), bad, runtime.GOMAXPROCS(0))
 	}
 	return n
 })
+
+// ParseWorkers validates a worker-count setting. It returns the count
+// (0 meaning "unset, use the default") and, when the value is present
+// but unusable, a short reason for the caller's warning line. Shared by
+// the KOALA_WORKERS path here and the -workers flag path in cliutil so
+// both reject garbage the same way.
+func ParseWorkers(s string) (n int, bad string) {
+	if s == "" {
+		return 0, ""
+	}
+	v, err := strconv.Atoi(s)
+	if err != nil {
+		return 0, "not an integer"
+	}
+	if v <= 0 {
+		return 0, "must be positive"
+	}
+	return v, ""
+}
 
 // defaultSize is the pool size used when SetWorkers has not been called:
 // KOALA_WORKERS when set, GOMAXPROCS otherwise.

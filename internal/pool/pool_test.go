@@ -115,3 +115,29 @@ func TestSetWorkersResize(t *testing.T) {
 		}
 	}
 }
+
+// TestParseWorkers covers the KOALA_WORKERS / -workers validation shared
+// with cliutil: empty means unset, garbage and non-positive values are
+// rejected with a reason instead of flowing into the worker budget.
+func TestParseWorkers(t *testing.T) {
+	cases := []struct {
+		in  string
+		n   int
+		bad bool
+	}{
+		{"", 0, false},
+		{"8", 8, false},
+		{"1", 1, false},
+		{"0", 0, true},
+		{"-4", 0, true},
+		{"eight", 0, true},
+		{"3.5", 0, true},
+		{" 2", 0, true},
+	}
+	for _, c := range cases {
+		n, bad := ParseWorkers(c.in)
+		if n != c.n || (bad != "") != c.bad {
+			t.Errorf("ParseWorkers(%q) = (%d, %q), want n=%d bad=%v", c.in, n, bad, c.n, c.bad)
+		}
+	}
+}
