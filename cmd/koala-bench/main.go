@@ -18,6 +18,12 @@
 // additionally records measured wall clock per collective
 // (dist.measured.* counters, shown by koala-obs report).
 //
+// -rank-trace dir captures one JSONL trace log per rank process into
+// dir (rank0.jsonl = driver) plus a manifest.json with the NTP-style
+// clock-offset estimates; merge into one skew-corrected multi-rank
+// trace with `koala-obs merge dir`. With -json, per-rank measured comm
+// stats land in the BENCH json "ranks" array.
+//
 // Experiments: table2 fig7a fig7b fig8a fig8b fig9 fig10 fig11 fig12
 // fig13a fig13b fig14 ablation sym. The -full flag selects larger sweeps closer to the
 // paper's parameters (minutes to hours on one core); the default sizes
@@ -69,6 +75,7 @@ func main() {
 	f32Sketch := cliutil.F32SketchFlag()
 	transport := cliutil.TransportFlag()
 	ranks := cliutil.RanksFlag()
+	rankTrace := cliutil.RankTraceFlag()
 	flag.Parse()
 	cliutil.ApplyWorkers(*workers)
 	if err := cliutil.ApplyKernel(*kernel); err != nil {
@@ -77,14 +84,6 @@ func main() {
 	bench.SetSketch32(*f32Sketch)
 	if *transport != "inproc" && *ranks <= 0 {
 		fatal(fmt.Errorf("-transport %s requires -ranks > 0", *transport))
-	}
-	tr, err := cliutil.OpenTransport(*transport, *ranks)
-	if err != nil {
-		fatal(err)
-	}
-	if tr != nil {
-		bench.SetTransport(tr)
-		defer tr.Close()
 	}
 	args := flag.Args()
 	if len(args) == 0 {
@@ -107,7 +106,7 @@ func main() {
 		}
 	}
 
-	observing := *traceFile != "" || *metricsFile != "" || *jsonDir != "" || *compareDir != ""
+	observing := *traceFile != "" || *metricsFile != "" || *jsonDir != "" || *compareDir != "" || *rankTrace != ""
 	var closers []io.Closer
 	if observing {
 		var sinks []obs.Sink
@@ -128,6 +127,23 @@ func main() {
 			sinks = append(sinks, obs.NewJSONLSink(f))
 		}
 		obs.Enable(sinks...)
+		if *rankTrace != "" {
+			rc, err := cliutil.EnableRankTrace(*rankTrace)
+			if err != nil {
+				fatal(err)
+			}
+			closers = append(closers, rc)
+		}
+	}
+	// The transport opens after obs so its collective spans (and the
+	// clock-sync manifest under -rank-trace) are captured from the start.
+	tr, err := cliutil.OpenTransport(*transport, *ranks, *rankTrace)
+	if err != nil {
+		fatal(err)
+	}
+	if tr != nil {
+		bench.SetTransport(tr)
+		defer tr.Close()
 	}
 	tel, err := cliutil.StartTelemetry(*listen, "bench", map[string]string{"suites": strings.Join(args, ",")})
 	if err != nil {
@@ -407,6 +423,6 @@ func fatal(err error) {
 const divider = "================================================================"
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: koala-bench [-full] [-kernel auto|asm|go] [-f32-sketch] [-transport inproc|unix|tcp] [-ranks n] [-trace file] [-metrics file] [-json dir] [-compare dir] <experiment>...
+	fmt.Fprintln(os.Stderr, `usage: koala-bench [-full] [-kernel auto|asm|go] [-f32-sketch] [-transport inproc|unix|tcp] [-ranks n] [-rank-trace dir] [-trace file] [-metrics file] [-json dir] [-compare dir] <experiment>...
 experiments: table2 fig7a fig7b fig8a fig8b fig9 fig10 fig11 fig12 fig13a fig13b fig14 ablation sym | all`)
 }

@@ -39,6 +39,7 @@ func main() {
 	f32Sketch := cliutil.F32SketchFlag()
 	transport := cliutil.TransportFlag()
 	ranks := cliutil.RanksFlag()
+	rankTrace := cliutil.RankTraceFlag()
 	flag.Parse()
 	cliutil.ApplyWorkers(*workers)
 	if err := cliutil.ApplyKernel(*kernel); err != nil {
@@ -46,6 +47,15 @@ func main() {
 	}
 	if _, err := oc.Setup(); err != nil {
 		log.Fatal(err)
+	}
+	if *rankTrace != "" {
+		rc, err := cliutil.EnableRankTrace(*rankTrace)
+		if err != nil {
+			log.Fatal(err)
+		}
+		// Closes after oc.Finish (defers run LIFO), which is what flushes
+		// the rank-0 log's final metrics snapshot.
+		defer rc.Close()
 	}
 	tel, err := cliutil.StartTelemetry(*listen, "rqc", map[string]string{
 		"n": fmt.Sprint(*n), "layers": fmt.Sprint(*layers),
@@ -81,7 +91,7 @@ func main() {
 	eng := backend.Instrument(backend.NewDense())
 	var grid *dist.Grid
 	if *ranks > 0 {
-		tr, err := cliutil.OpenTransport(*transport, *ranks)
+		tr, err := cliutil.OpenTransport(*transport, *ranks, *rankTrace)
 		if err != nil {
 			log.Fatal(err)
 		}

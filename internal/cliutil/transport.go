@@ -3,10 +3,13 @@ package cliutil
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"path/filepath"
 
 	"gokoala/internal/dist"
 	distnet "gokoala/internal/dist/net"
+	"gokoala/internal/obs"
 )
 
 // MaybeRankMode hands the process over to the hidden koala-rank mode
@@ -33,19 +36,84 @@ func RanksFlag() *int {
 	return flag.Int("ranks", 0, "SPMD ranks for dist engines (0 = suite default); with -transport unix|tcp, also the process count")
 }
 
+// RankTraceFlag registers the standard -rank-trace flag: a directory
+// receiving one JSONL trace log per rank process (rank0.jsonl for the
+// driver, written by EnableRankTrace; rank<N>.jsonl per child) plus a
+// manifest.json with the clock-offset estimates. Merge the directory
+// with `koala-obs merge`.
+func RankTraceFlag() *string {
+	return flag.String("rank-trace", "",
+		"with -transport unix|tcp: per-rank trace directory (merge with 'koala-obs merge')")
+}
+
+// EnableRankTrace installs the driver's side of a -rank-trace capture: a
+// JSONL sink tagged rank 0 writing dir/rank0.jsonl, added to whatever
+// sinks -trace/-metrics already enabled. Call before OpenTransport so
+// the transport's spans land in the log, and close the returned closer
+// last (after any ObsConfig.Finish) — it disables obs collection if
+// still enabled, then closes the file.
+func EnableRankTrace(dir string) (io.Closer, error) {
+	if err := os.MkdirAll(dir, 0o777); err != nil {
+		return nil, err
+	}
+	f, err := os.Create(filepath.Join(dir, "rank0.jsonl"))
+	if err != nil {
+		return nil, err
+	}
+	sink := obs.NewJSONLSink(f)
+	sink.SetRank(0)
+	if obs.Enabled() {
+		obs.AddSink(sink)
+	} else {
+		obs.Enable(sink)
+	}
+	return rankTraceCloser{f}, nil
+}
+
+type rankTraceCloser struct{ f *os.File }
+
+func (c rankTraceCloser) Close() error {
+	// Flush the sink's final metrics snapshot unless an ObsConfig.Finish
+	// (or explicit Disable) already did.
+	if obs.Enabled() {
+		if err := obs.Disable(); err != nil {
+			c.f.Close()
+			return err
+		}
+	}
+	if err := c.f.Sync(); err != nil {
+		c.f.Close()
+		return err
+	}
+	return c.f.Close()
+}
+
 // OpenTransport starts the socket transport named by the -transport flag
 // value for the given rank count. "inproc" (or "") returns nil — the
-// grid's in-process default. The transport's failure hook prints the
-// first error and exits, so a dead rank cancels the whole job; the
-// caller owns Close.
-func OpenTransport(name string, ranks int) (dist.Transport, error) {
+// grid's in-process default. traceDir is the -rank-trace directory ("" =
+// no per-rank capture); pass it through EnableRankTrace first so the
+// driver's own log exists beside the children's. The transport's failure
+// hook prints the first error and exits, so a dead rank cancels the
+// whole job; the caller owns Close.
+func OpenTransport(name string, ranks int, traceDir string) (dist.Transport, error) {
 	switch name {
 	case "", "inproc":
+		if traceDir != "" {
+			return nil, fmt.Errorf("cliutil: -rank-trace requires -transport unix|tcp")
+		}
 		return nil, nil
 	case "unix", "tcp":
+		if traceDir != "" {
+			abs, err := filepath.Abs(traceDir)
+			if err != nil {
+				return nil, err
+			}
+			traceDir = abs
+		}
 		t, err := distnet.Start(distnet.Options{
-			Ranks:   ranks,
-			Network: name,
+			Ranks:    ranks,
+			Network:  name,
+			TraceDir: traceDir,
 			OnFailure: func(err error) {
 				fmt.Fprintf(os.Stderr, "koala: distributed job failed: %v\n", err)
 				os.Exit(1)

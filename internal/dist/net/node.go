@@ -5,7 +5,35 @@ import (
 	"fmt"
 
 	"gokoala/internal/dist"
+	"gokoala/internal/obs"
 )
+
+// Span names of the transport's trace instrumentation. Every realized
+// collective is one spanCollective with spanSend/spanRecv children per
+// point-to-point message; the (op, seq, step, from, to) attributes on
+// the send/recv pairs mirror the wire header, which is what lets
+// obsfile.MergeRanks match a sender's span to the receiver's span in a
+// different process's trace log.
+const (
+	spanCollective = "dist.net.collective"
+	spanSend       = "dist.net.send"
+	spanRecv       = "dist.net.recv"
+)
+
+// stepDowncast offsets the step indices of the broadcast phase of
+// allreduce so they cannot collide with its reduce phase (both phases
+// walk the same strides under one seq). Strides are < 2^12 (the rank
+// cap), so the offset is unambiguous.
+const stepDowncast = 1 << 14
+
+// collCtx carries one collective's identity (for wire step tagging) and
+// its open span (for send/recv children) through the point-to-point
+// helpers. sp is nil while obs is disabled — every use is nil-safe.
+type collCtx struct {
+	op  dist.Op
+	seq uint32
+	sp  *obs.Span
+}
 
 // node is one rank's view of the fully connected mesh: conns[r] is the
 // framed link to rank r (nil at the own index). Rank 0 is always the
@@ -42,17 +70,33 @@ func (n *node) payload(size int64, seq uint32) []byte {
 	return b
 }
 
-func (n *node) send(to int, seq uint32, body []byte) error {
-	if err := n.conns[to].writeFrame(ftData, 0, uint16(n.rank), seq, body); err != nil {
+func (n *node) send(to, step int, body []byte, cc collCtx) error {
+	sp := cc.sp.StartChild(spanSend)
+	err := n.conns[to].writeFrameStep(ftData, byte(cc.op), uint16(n.rank), uint16(step), cc.seq, body)
+	if sp != nil {
+		sp.SetStr("op", cc.op.String()).SetInt("seq", int64(cc.seq)).SetInt("step", int64(step))
+		sp.SetInt("from", int64(n.rank)).SetInt("to", int64(to)).SetInt("bytes", int64(len(body)))
+		sp.End()
+	}
+	if err != nil {
 		return fmt.Errorf("send to rank %d: %w", to, err)
 	}
 	return nil
 }
 
-func (n *node) recv(from int, seq uint32) ([]byte, error) {
-	f, err := n.conns[from].expectFrame(ftData, seq)
+func (n *node) recv(from, step int, cc collCtx) ([]byte, error) {
+	sp := cc.sp.StartChild(spanRecv)
+	f, err := n.conns[from].expectFrame(ftData, cc.seq)
+	if sp != nil {
+		sp.SetStr("op", cc.op.String()).SetInt("seq", int64(cc.seq)).SetInt("step", int64(step))
+		sp.SetInt("from", int64(from)).SetInt("to", int64(n.rank)).SetInt("bytes", int64(len(f.body)))
+		sp.End()
+	}
 	if err != nil {
 		return nil, fmt.Errorf("recv from rank %d: %w", from, err)
+	}
+	if int(f.step) != step {
+		return nil, fmt.Errorf("recv from rank %d: step %d, want %d", from, f.step, step)
 	}
 	return f.body, nil
 }
@@ -61,9 +105,9 @@ func (n *node) recv(from int, seq uint32) ([]byte, error) {
 // its result, so a rank can post its outgoing message before blocking
 // on the matching receive (ring and pairwise exchanges deadlock
 // otherwise once payloads exceed the socket buffer).
-func (n *node) asyncSend(to int, seq uint32, body []byte) <-chan error {
+func (n *node) asyncSend(to, step int, body []byte, cc collCtx) <-chan error {
 	ch := make(chan error, 1)
-	go func() { ch <- n.send(to, seq, body) }()
+	go func() { ch <- n.send(to, step, body, cc) }()
 	return ch
 }
 
@@ -71,45 +115,50 @@ func (n *node) asyncSend(to int, seq uint32, body []byte) <-chan error {
 // rank of the job calls run with the same (op, total, seq) triple; the
 // patterns below are the textbook small-P algorithms, chosen to mirror
 // the grid's modeled message counts (binomial bcast/reduce, linear
-// gather, ring allgather, pairwise alltoall).
-func (n *node) run(op dist.Op, total int64, seq uint32) error {
+// gather, ring allgather, pairwise alltoall). sp is the rank's open
+// spanCollective (nil while obs is disabled); point-to-point messages
+// trace as its children.
+func (n *node) run(op dist.Op, total int64, seq uint32, sp *obs.Span) error {
 	if n.ranks <= 1 {
 		return nil
 	}
+	cc := collCtx{op: op, seq: seq, sp: sp}
 	switch op {
 	case dist.OpBcast:
-		return n.bcast(total, seq)
+		return n.bcast(total, cc)
 	case dist.OpGather:
-		return n.gather(total, seq)
+		return n.gather(total, cc)
 	case dist.OpAllgather:
-		return n.allgather(total, seq)
+		return n.allgather(total, cc)
 	case dist.OpAllreduce:
-		return n.allreduce(total, seq)
+		return n.allreduce(total, cc)
 	case dist.OpAllToAll:
-		return n.alltoall(total, seq)
+		return n.alltoall(total, cc)
 	}
 	return fmt.Errorf("collective %v has no transport realization", op)
 }
 
 // bcast: binomial tree rooted at rank 0, log2(P) rounds. In round k a
 // rank that already holds the data (rank < 2^k) forwards to rank+2^k.
-func (n *node) bcast(total int64, seq uint32) error {
-	_, err := n.downcast(n.payload(total, seq), seq)
+func (n *node) bcast(total int64, cc collCtx) error {
+	_, err := n.downcast(n.payload(total, cc.seq), 0, cc)
 	return err
 }
 
 // downcast runs the binomial broadcast of buf from rank 0; every rank
 // returns the (received) buffer. Shared by bcast and the second phase
-// of allreduce.
-func (n *node) downcast(buf []byte, seq uint32) ([]byte, error) {
+// of allreduce; stepBase keeps the two phases' step keys disjoint. Each
+// message is tagged with its stride, which both sides derive from their
+// own rank, so sender and receiver agree on the step.
+func (n *node) downcast(buf []byte, stepBase int, cc collCtx) ([]byte, error) {
 	have := n.rank == 0
 	for stride := 1; stride < n.ranks; stride <<= 1 {
 		if have && n.rank < stride && n.rank+stride < n.ranks {
-			if err := n.send(n.rank+stride, seq, buf); err != nil {
+			if err := n.send(n.rank+stride, stepBase+stride, buf, cc); err != nil {
 				return nil, err
 			}
 		} else if !have && n.rank >= stride && n.rank < stride<<1 {
-			b, err := n.recv(n.rank-stride, seq)
+			b, err := n.recv(n.rank-stride, stepBase+stride, cc)
 			if err != nil {
 				return nil, err
 			}
@@ -120,29 +169,30 @@ func (n *node) downcast(buf []byte, seq uint32) ([]byte, error) {
 	return buf, nil
 }
 
-// gather: linear gather to rank 0; each rank owns total/P bytes.
-func (n *node) gather(total int64, seq uint32) error {
+// gather: linear gather to rank 0; each rank owns total/P bytes. The
+// step is the contributing rank.
+func (n *node) gather(total int64, cc collCtx) error {
 	share := total / int64(n.ranks)
 	if n.rank == 0 {
 		for r := 1; r < n.ranks; r++ {
-			if _, err := n.recv(r, seq); err != nil {
+			if _, err := n.recv(r, r, cc); err != nil {
 				return err
 			}
 		}
 		return nil
 	}
-	return n.send(0, seq, n.payload(share, seq))
+	return n.send(0, n.rank, n.payload(share, cc.seq), cc)
 }
 
 // allgather: ring with P-1 steps; each step forwards a share of
 // total/P bytes to the right neighbor while receiving from the left.
-func (n *node) allgather(total int64, seq uint32) error {
-	share := n.payload(total/int64(n.ranks), seq)
+func (n *node) allgather(total int64, cc collCtx) error {
+	share := n.payload(total/int64(n.ranks), cc.seq)
 	right := (n.rank + 1) % n.ranks
 	left := (n.rank + n.ranks - 1) % n.ranks
 	for step := 0; step < n.ranks-1; step++ {
-		sent := n.asyncSend(right, seq, share)
-		got, err := n.recv(left, seq)
+		sent := n.asyncSend(right, step, share, cc)
+		got, err := n.recv(left, step, cc)
 		if err != nil {
 			return err
 		}
@@ -158,19 +208,19 @@ func (n *node) allgather(total int64, seq uint32) error {
 // 2*log2(P) rounds, matching the modeled charge of twice the allgather
 // latency and bandwidth. The "reduction" XORs buffers so the payload
 // content actually depends on every contribution.
-func (n *node) allreduce(total int64, seq uint32) error {
-	buf := n.payload(total, seq)
+func (n *node) allreduce(total int64, cc collCtx) error {
+	buf := n.payload(total, cc.seq)
 	// Reduce: in round k, ranks with the 2^k bit set send to rank-2^k
 	// and drop out of the up phase; receivers fold the contribution in.
 	for stride := 1; stride < n.ranks; stride <<= 1 {
 		if n.rank&stride != 0 {
-			if err := n.send(n.rank-stride, seq, buf); err != nil {
+			if err := n.send(n.rank-stride, stride, buf, cc); err != nil {
 				return err
 			}
 			break
 		}
 		if n.rank+stride < n.ranks {
-			got, err := n.recv(n.rank+stride, seq)
+			got, err := n.recv(n.rank+stride, stride, cc)
 			if err != nil {
 				return err
 			}
@@ -182,21 +232,22 @@ func (n *node) allreduce(total int64, seq uint32) error {
 		}
 	}
 	// Broadcast the reduced buffer back down; every rank participates.
-	_, err := n.downcast(buf, seq)
+	_, err := n.downcast(buf, stepDowncast, cc)
 	return err
 }
 
 // alltoall: pairwise exchange, P-1 rounds; in round k rank r exchanges
 // a total/P^2 chunk with rank r XOR k (power-of-two P) or (r+k) mod P
-// paired with (r-k) mod P otherwise.
-func (n *node) alltoall(total int64, seq uint32) error {
+// paired with (r-k) mod P otherwise. The step is the round index, which
+// sender and receiver share by construction.
+func (n *node) alltoall(total int64, cc collCtx) error {
 	chunk := total / int64(n.ranks*n.ranks)
-	buf := n.payload(chunk, seq)
+	buf := n.payload(chunk, cc.seq)
 	for k := 1; k < n.ranks; k++ {
 		sendTo := (n.rank + k) % n.ranks
 		recvFrom := (n.rank + n.ranks - k) % n.ranks
-		sent := n.asyncSend(sendTo, seq, buf)
-		if _, err := n.recv(recvFrom, seq); err != nil {
+		sent := n.asyncSend(sendTo, k, buf, cc)
+		if _, err := n.recv(recvFrom, k, cc); err != nil {
 			return err
 		}
 		if err := <-sent; err != nil {

@@ -1,15 +1,22 @@
 package distnet
 
 import (
+	"encoding/binary"
+	"encoding/json"
 	"fmt"
 	"net"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"strconv"
 	"strings"
+	"sync"
+	"syscall"
 	"time"
 
 	"gokoala/internal/dist"
+	"gokoala/internal/obs"
+	"gokoala/internal/telemetry"
 )
 
 // MaybeRankMain turns the current process into a rank endpoint when the
@@ -39,7 +46,9 @@ type rankEnv struct {
 	dir      string // unix socket dir
 	token    string
 	timeout  time.Duration
-	dieAfter int // KOALA_RANK_DIE_AFTER: exit after N commands (fault injection)
+	dieAfter int    // KOALA_RANK_DIE_AFTER: exit after N commands (fault injection)
+	traceDir string // KOALA_RANK_TRACE_DIR: per-rank JSONL trace capture
+	listen   bool   // KOALA_RANK_LISTEN: serve /metrics on 127.0.0.1:0
 }
 
 func parseRankEnv() (rankEnv, error) {
@@ -73,7 +82,120 @@ func parseRankEnv() (rankEnv, error) {
 			e.dieAfter = v
 		}
 	}
+	e.traceDir = os.Getenv("KOALA_RANK_TRACE_DIR")
+	e.listen = os.Getenv("KOALA_RANK_LISTEN") != ""
 	return e, nil
+}
+
+// rankObs is the child's observability state: the trace sink capturing
+// this rank's spans, its telemetry listener, and a flush that is safe
+// to run from the SIGTERM path while the command loop is mid-span.
+type rankObs struct {
+	flushOnce sync.Once
+	file      *os.File
+	srv       interface{ Close() error }
+
+	mu    sync.Mutex
+	stats childStats // per-op measured totals, reported in every pong
+}
+
+// setup enables trace capture and the per-rank /metrics listener as the
+// driver requested via env. Best-effort by design: a rank that cannot
+// open its trace file still serves collectives.
+func (ro *rankObs) setup(e rankEnv) {
+	ro.stats.PID = os.Getpid()
+	if e.traceDir != "" {
+		path := filepath.Join(e.traceDir, fmt.Sprintf("rank%d.jsonl", e.rank))
+		if f, err := os.Create(path); err == nil {
+			ro.file = f
+			sink := obs.NewJSONLSink(f)
+			sink.SetRank(e.rank)
+			obs.Enable(sink)
+		} else {
+			fmt.Fprintf(os.Stderr, "koala-rank %d: trace capture: %v\n", e.rank, err)
+		}
+	}
+	if e.listen {
+		if srv, err := telemetry.Serve("127.0.0.1:0"); err == nil {
+			ro.srv = srv
+			telemetry.SetRunInfo("rank", map[string]string{
+				"rank":  strconv.Itoa(e.rank),
+				"ranks": strconv.Itoa(e.ranks),
+			})
+			if e.traceDir != "" {
+				addr := filepath.Join(e.traceDir, fmt.Sprintf("rank%d.addr", e.rank))
+				if err := os.WriteFile(addr, []byte(srv.Addr()), 0o666); err != nil {
+					fmt.Fprintf(os.Stderr, "koala-rank %d: write addr file: %v\n", e.rank, err)
+				}
+			}
+		} else {
+			fmt.Fprintf(os.Stderr, "koala-rank %d: telemetry listen: %v\n", e.rank, err)
+		}
+	}
+}
+
+// flush drains the trace sink (appending the metrics record) and syncs
+// the file so the log is complete on disk. Idempotent; called on every
+// exit path that is allowed to take time — the graceful bye/EOF return
+// and the SIGTERM handler — but not on fault-injected crashes.
+func (ro *rankObs) flush() {
+	ro.flushOnce.Do(func() {
+		obs.Disable()
+		if ro.file != nil {
+			ro.file.Sync()
+			ro.file.Close()
+		}
+		if ro.srv != nil {
+			ro.srv.Close()
+		}
+	})
+}
+
+// handleSignals flushes and exits on SIGTERM/SIGINT: the driver's
+// teardown escalation sends SIGTERM before SIGKILL exactly so in-flight
+// spans reach the trace file.
+func (ro *rankObs) handleSignals() {
+	ch := make(chan os.Signal, 2)
+	signal.Notify(ch, syscall.SIGTERM, syscall.SIGINT)
+	go func() {
+		<-ch
+		ro.flush()
+		os.Exit(0)
+	}()
+}
+
+// record folds one served collective into the pong-reported stats and
+// the local obs/telemetry planes.
+func (ro *rankObs) record(op dist.Op, secs float64) {
+	ro.mu.Lock()
+	if ro.stats.Ops == nil {
+		ro.stats.Ops = map[string]dist.OpMeasured{}
+	}
+	m := ro.stats.Ops[op.String()]
+	m.Ops++
+	m.Seconds += secs
+	ro.stats.Ops[op.String()] = m
+	ro.mu.Unlock()
+	dist.RecordMeasured(op, secs)
+	telemetry.Observe("dist_measured_comm_seconds", secs,
+		telemetry.Label{Key: "op", Value: op.String()})
+}
+
+// pongBody renders the reply to a sync ping: receive/send timestamps
+// followed by the JSON per-op stats.
+func (ro *rankObs) pongBody(t2 int64) []byte {
+	ro.mu.Lock()
+	stats, err := json.Marshal(&ro.stats)
+	ro.mu.Unlock()
+	if err != nil {
+		stats = nil
+	}
+	body := make([]byte, 16, 16+len(stats))
+	binary.LittleEndian.PutUint64(body[0:8], uint64(t2))
+	// t3 is stamped immediately before the write, after the (cheap but
+	// nonzero) stats marshal, to keep the NTP midpoint honest.
+	binary.LittleEndian.PutUint64(body[8:16], uint64(time.Now().UnixNano()))
+	return append(body, stats...)
 }
 
 func rankMain() error {
@@ -81,6 +203,13 @@ func rankMain() error {
 	if err != nil {
 		return err
 	}
+
+	// Observability first, so even handshake-phase failures leave a
+	// valid (if empty) trace log, and SIGTERM always flushes.
+	ro := &rankObs{}
+	ro.setup(e)
+	defer ro.flush()
+	ro.handleSignals()
 
 	// Listen for peers with a higher rank before announcing ourselves,
 	// so the driver can hand out an address that already accepts.
@@ -193,19 +322,36 @@ func rankMain() error {
 		switch f.typ {
 		case ftBye:
 			return nil
+		case ftPing:
+			// Clock-sync/heartbeat: t2 is the receipt stamp; pongBody
+			// stamps t3 right before the write.
+			t2 := time.Now().UnixNano()
+			if err := control.writeFrame(ftPong, 0, uint16(e.rank), f.seq, ro.pongBody(t2)); err != nil {
+				return fmt.Errorf("rank %d pong: %w", e.rank, err)
+			}
 		case ftCmd:
 			total, err := cmdTotal(f.body)
 			if err != nil {
 				return fmt.Errorf("rank %d: %w", e.rank, err)
 			}
-			if err := n.run(dist.Op(f.op), total, f.seq); err != nil {
-				msg := fmt.Sprintf("rank %d %v: %v", e.rank, dist.Op(f.op), err)
+			op := dist.Op(f.op)
+			sp := obs.Start(spanCollective)
+			sp.SetStr("op", op.String()).SetInt("seq", int64(f.seq)).SetInt("bytes", total)
+			start := time.Now()
+			runErr := n.run(op, total, f.seq, sp)
+			secs := time.Since(start).Seconds()
+			sp.SetFloat("measured_s", secs)
+			sp.End()
+			if runErr != nil {
+				msg := fmt.Sprintf("rank %d %v: %v", e.rank, op, runErr)
 				control.writeFrame(ftErr, f.op, uint16(e.rank), f.seq, []byte(msg))
 				return fmt.Errorf("%s", msg)
 			}
+			ro.record(op, secs)
 			done++
 			if e.dieAfter >= 0 && done >= e.dieAfter {
-				// Fault injection: die without acking, mid-job.
+				// Fault injection: die without acking, mid-job — and
+				// without flushing, like a real crash.
 				os.Exit(3)
 			}
 			if err := control.writeFrame(ftAck, f.op, uint16(e.rank), f.seq, nil); err != nil {

@@ -1,0 +1,218 @@
+package distnet
+
+import (
+	"os"
+	"path/filepath"
+	"syscall"
+	"testing"
+	"time"
+
+	"gokoala/internal/dist"
+	"gokoala/internal/obs"
+	"gokoala/internal/obsfile"
+	"gokoala/internal/telemetry"
+)
+
+// driverSink mirrors what cliutil.EnableRankTrace does for the parent
+// process: route the driver's own spans to TraceDir/rank0.jsonl so the
+// merge sees all ranks, not just the children.
+func driverSink(t *testing.T, dir string) {
+	t.Helper()
+	f, err := os.Create(filepath.Join(dir, "rank0.jsonl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sink := obs.NewJSONLSink(f)
+	sink.SetRank(0)
+	obs.Enable(sink)
+	t.Cleanup(func() {
+		if obs.Enabled() {
+			obs.Disable()
+		}
+		f.Close()
+	})
+}
+
+// End-to-end tentpole check: a multi-rank run with TraceDir set yields
+// per-rank JSONL logs plus a manifest, and MergeDir aligns them into one
+// trace with at least one matched send→recv flow per collective op.
+func TestTraceCaptureAndMerge(t *testing.T) {
+	const ranks = 3
+	dir := t.TempDir()
+	driverSink(t, dir)
+
+	tr := startTB(t, Options{Ranks: ranks, Network: "unix", TraceDir: dir})
+	for _, op := range dist.Ops() {
+		if _, err := tr.Run(op, 1<<14); err != nil {
+			t.Fatalf("%v: %v", op, err)
+		}
+	}
+
+	// Clock sync ran at handshake and on every stats pull.
+	rs := tr.RankStats()
+	if len(rs) != ranks {
+		t.Fatalf("RankStats len = %d, want %d", len(rs), ranks)
+	}
+	if rs[0].Rank != 0 || rs[0].PID != os.Getpid() || rs[0].MeasuredOps == 0 {
+		t.Errorf("driver row = %+v, want rank 0, own pid, measured ops", rs[0])
+	}
+	for _, r := range rs[1:] {
+		if r.PID <= 0 {
+			t.Errorf("rank %d: pid = %d, want > 0", r.Rank, r.PID)
+		}
+		if r.RTTNS <= 0 {
+			t.Errorf("rank %d: rtt = %d, want > 0", r.Rank, r.RTTNS)
+		}
+		if r.MeasuredOps == 0 || r.MeasuredCommSeconds <= 0 {
+			t.Errorf("rank %d: measured ops=%d secs=%g, want > 0", r.Rank, r.MeasuredOps, r.MeasuredCommSeconds)
+		}
+	}
+
+	if err := tr.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if err := obs.Disable(); err != nil { // flush rank0.jsonl before merging
+		t.Fatalf("obs.Disable: %v", err)
+	}
+
+	man, err := obsfile.ReadManifest(dir)
+	if err != nil {
+		t.Fatalf("ReadManifest: %v", err)
+	}
+	if man.Ranks != ranks || len(man.RankInfo) != ranks {
+		t.Fatalf("manifest ranks = %d/%d entries, want %d", man.Ranks, len(man.RankInfo), ranks)
+	}
+	for _, ri := range man.RankInfo[1:] {
+		if ri.PID <= 0 || ri.RTTNS <= 0 {
+			t.Errorf("manifest rank %d: pid=%d rtt=%d, want > 0", ri.Rank, ri.PID, ri.RTTNS)
+		}
+	}
+
+	m, err := obsfile.MergeDir(dir)
+	if err != nil {
+		t.Fatalf("MergeDir: %v", err)
+	}
+	if len(m.MissingRanks) != 0 {
+		t.Fatalf("missing ranks %v, want none", m.MissingRanks)
+	}
+	if len(m.Ranks) != ranks {
+		t.Fatalf("merged ranks = %v, want %d of them", m.Ranks, ranks)
+	}
+	for _, op := range dist.Ops() {
+		if m.PairsByOp[op.String()] == 0 {
+			t.Errorf("op %s: no matched send→recv flow pairs (got %v)", op, m.PairsByOp)
+		}
+	}
+	if m.MaxResidualNS <= 0 {
+		t.Errorf("max residual skew = %d ns, want > 0 (rtt/2 bound)", m.MaxResidualNS)
+	}
+	seen := map[int]bool{}
+	for _, s := range m.Trace.Spans {
+		if v, ok := s.AttrFloat("rank"); ok {
+			seen[int(v)] = true
+		}
+	}
+	for r := 0; r < ranks; r++ {
+		if !seen[r] {
+			t.Errorf("merged trace has no spans tagged rank %d", r)
+		}
+	}
+	util := m.Trace.RankUtilization()
+	if len(util) != ranks {
+		t.Fatalf("utilization rows = %d, want %d", len(util), ranks)
+	}
+	for _, u := range util[1:] {
+		if u.CommS <= 0 {
+			t.Errorf("rank %d: comm seconds = %g, want > 0", u.Rank, u.CommS)
+		}
+	}
+	if rows := m.Trace.RankMeasuredOps(); len(rows) == 0 {
+		t.Error("merged trace has no per-rank measured-op metrics")
+	}
+	if cp := m.Trace.CrossRankCriticalPath(); cp == nil || len(cp.Steps) == 0 {
+		t.Error("merged trace has no cross-rank critical path")
+	}
+}
+
+// SIGTERM is the flush signal: a child told to terminate must drain its
+// trace sink before exiting, leaving a complete (metrics-terminated)
+// JSONL log behind.
+func TestSIGTERMFlushesChildTrace(t *testing.T) {
+	dir := t.TempDir()
+	failed := make(chan error, 1)
+	tr := startTB(t, Options{
+		Ranks: 2, Network: "unix", TraceDir: dir,
+		OnFailure: func(err error) { failed <- err },
+	})
+	if _, err := tr.Run(dist.OpBcast, 1<<12); err != nil {
+		t.Fatalf("bcast: %v", err)
+	}
+	if err := tr.procs[1].Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatalf("SIGTERM: %v", err)
+	}
+	select {
+	case <-failed:
+	case <-time.After(20 * time.Second):
+		t.Fatal("transport did not notice the terminated rank")
+	}
+	// The signal handler flushes asynchronously with process exit; give
+	// the file a moment to reach its final form.
+	path := filepath.Join(dir, "rank1.jsonl")
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		trace, err := obsfile.ReadFile(path)
+		if err == nil && !trace.Truncated && trace.Metrics != nil {
+			if len(trace.Spans) == 0 {
+				t.Fatal("flushed trace has no spans")
+			}
+			if v := trace.Metrics["dist.measured.bcast_seconds"]; v <= 0 {
+				t.Fatalf("flushed metrics missing measured bcast seconds: %v", trace.Metrics)
+			}
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("rank1.jsonl never became complete: err=%v", err)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}
+
+// A reaped rank must flip the parent's health rollup to degraded with
+// that rank marked down — the 503 path of /healthz.
+func TestDeadRankDegradesHealth(t *testing.T) {
+	telemetry.ResetRanks()
+	t.Cleanup(telemetry.ResetRanks)
+
+	failed := make(chan error, 1)
+	tr := startTB(t, Options{
+		Ranks: 2, Network: "unix",
+		OnFailure: func(err error) { failed <- err },
+	})
+	if _, err := tr.Run(dist.OpAllreduce, 1<<12); err != nil {
+		t.Fatalf("allreduce: %v", err)
+	}
+	if st := telemetry.CurrentHealth(); st.Status != "ok" {
+		t.Fatalf("health before kill = %q, want ok (%+v)", st.Status, st.Ranks)
+	}
+	if err := tr.procs[1].Process.Kill(); err != nil {
+		t.Fatalf("kill: %v", err)
+	}
+	select {
+	case <-failed:
+	case <-time.After(20 * time.Second):
+		t.Fatal("transport did not notice the killed rank")
+	}
+	st := telemetry.CurrentHealth()
+	if st.Status != "degraded" {
+		t.Fatalf("health after kill = %q, want degraded", st.Status)
+	}
+	down := false
+	for _, r := range st.Ranks {
+		if r.Rank == 1 && !r.Up && r.Err != "" {
+			down = true
+		}
+	}
+	if !down {
+		t.Fatalf("rank 1 not marked down: %+v", st.Ranks)
+	}
+}

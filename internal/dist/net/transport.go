@@ -2,7 +2,9 @@ package distnet
 
 import (
 	"crypto/rand"
+	"encoding/binary"
 	"encoding/hex"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
@@ -13,9 +15,12 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"syscall"
 	"time"
 
 	"gokoala/internal/dist"
+	"gokoala/internal/obs"
+	"gokoala/internal/obsfile"
 	"gokoala/internal/telemetry"
 )
 
@@ -31,6 +36,16 @@ type Options struct {
 	// Exe is the rank binary; defaults to the running executable
 	// (children run the hidden koala-rank mode via KOALA_RANK_MODE).
 	Exe string
+
+	// TraceDir enables per-rank trace capture: every child rank writes
+	// rank<N>.jsonl (an obs JSONL trace log) plus rank<N>.addr (its own
+	// /metrics listen address) into this directory, and the driver
+	// maintains manifest.json with pids and measured clock offsets so
+	// obsfile.MergeDir can fold the logs onto one clock. The directory
+	// is created if missing. The driver's own spans are not captured
+	// here — route them to TraceDir/rank0.jsonl with an obs.JSONLSink
+	// (cliutil.EnableRankTrace does).
+	TraceDir string
 
 	ConnectTimeout time.Duration // spawn+handshake budget (default 10s)
 	OpTimeout      time.Duration // per-frame I/O deadline in collectives (default 30s)
@@ -92,13 +107,50 @@ type Transport struct {
 	procs  []*exec.Cmd     // index 1..Ranks-1; [0] nil
 	exited []chan struct{} // closed by a rank's monitor once reaped
 
-	mu      sync.Mutex
-	seq     uint32
-	err     error
-	closing bool
-	dead    map[int]error // rank -> exit cause, recorded by monitors
-	wg      sync.WaitGroup
+	mu       sync.Mutex
+	seq      uint32
+	pingSeq  uint32
+	err      error
+	closing  bool
+	dead     map[int]error // rank -> exit cause, recorded by monitors
+	stop     chan struct{} // closed in teardown; ends the heartbeat loop
+	opStats  [dist.NumOps]opAgg
+	rankInfo []rankInfo // index by rank; [0] unused
+	wg       sync.WaitGroup
 }
+
+// opAgg accumulates the driver-side measured wall clock of one op.
+type opAgg struct {
+	n    int64
+	secs float64
+}
+
+// rankInfo is the driver's latest knowledge of one child rank, refreshed
+// by every sync/heartbeat pong.
+type rankInfo struct {
+	pid      int
+	offsetNS int64 // child wall clock minus driver wall clock
+	rttNS    int64 // round trip of the sample offsetNS came from
+	stats    childStats
+}
+
+// childStats is the per-op measured summary a child rank reports in
+// every pong body (JSON after the two timestamps).
+type childStats struct {
+	PID int                        `json:"pid"`
+	Ops map[string]dist.OpMeasured `json:"ops,omitempty"`
+}
+
+// Sync/heartbeat tuning: the initial clock sync takes the best of
+// syncPings round trips per rank; the heartbeat loop re-pings every
+// alive rank each heartbeatPeriod (skipping ticks while a collective
+// holds the transport). Pings use their own short deadline so a hung
+// rank cannot stall the driver for a full OpTimeout.
+const (
+	syncPings       = 8
+	heartbeatPeriod = 1 * time.Second
+	pingTimeout     = 2 * time.Second
+)
 
 var _ dist.Transport = (*Transport)(nil)
 
@@ -158,8 +210,14 @@ func (t *Transport) start() error {
 	if sockDir == "" {
 		sockDir = t.dir
 	}
+	if t.o.TraceDir != "" {
+		if err := os.MkdirAll(t.o.TraceDir, 0o777); err != nil {
+			return fmt.Errorf("trace dir: %w", err)
+		}
+	}
 	t.procs = make([]*exec.Cmd, t.o.Ranks)
 	t.exited = make([]chan struct{}, t.o.Ranks)
+	t.rankInfo = make([]rankInfo, t.o.Ranks)
 	for r := 1; r < t.o.Ranks; r++ {
 		cmd := exec.Command(t.o.Exe)
 		cmd.Env = append(os.Environ(),
@@ -173,12 +231,25 @@ func (t *Transport) start() error {
 			"KOALA_RANK_TIMEOUT="+t.o.OpTimeout.String(),
 			"KOALA_RANK_MAXFRAME="+strconv.Itoa(t.o.MaxFrame),
 		)
+		if t.o.TraceDir != "" {
+			// Absolute so the children agree on the directory regardless
+			// of their working directory.
+			abs, err := filepath.Abs(t.o.TraceDir)
+			if err != nil {
+				abs = t.o.TraceDir
+			}
+			cmd.Env = append(cmd.Env,
+				"KOALA_RANK_TRACE_DIR="+abs,
+				"KOALA_RANK_LISTEN=1",
+			)
+		}
 		cmd.Stdout = stderr
 		cmd.Stderr = stderr
 		if err := cmd.Start(); err != nil {
 			return fmt.Errorf("spawn rank %d: %w", r, err)
 		}
 		t.procs[r] = cmd
+		t.rankInfo[r].pid = cmd.Process.Pid
 		t.exited[r] = make(chan struct{})
 		t.wg.Add(1)
 		go t.monitor(r)
@@ -230,8 +301,167 @@ func (t *Transport) start() error {
 
 	t.mu.Lock()
 	t.n = &node{rank: 0, ranks: t.o.Ranks, conns: conns, maxFrame: t.o.MaxFrame}
+	// Initial clock sync: best-of-N ping per rank estimates each child's
+	// wall-clock offset before the first collective, registers the rank
+	// as alive, and seeds the telemetry series.
+	for r := 1; r < t.o.Ranks; r++ {
+		if err := t.syncRankLocked(r, syncPings); err != nil {
+			t.mu.Unlock()
+			return fmt.Errorf("clock sync rank %d: %w", r, err)
+		}
+	}
+	t.writeManifestLocked()
+	t.stop = make(chan struct{})
+	t.wg.Add(1)
+	go t.heartbeatLoop(t.stop)
 	t.mu.Unlock()
 	return nil
+}
+
+// syncRankLocked pings rank r n times and keeps the minimum-delay
+// sample's offset estimate (the NTP rule: the shortest round trip has
+// the least queueing asymmetry, and its half-width bounds the residual
+// error). Called with t.mu held.
+func (t *Transport) syncRankLocked(r, n int) error {
+	best := rankInfo{pid: t.rankInfo[r].pid, rttNS: 1<<63 - 1}
+	for i := 0; i < n; i++ {
+		off, rtt, st, err := t.pingLocked(r)
+		if err != nil {
+			return err
+		}
+		best.stats = st
+		if rtt < best.rttNS {
+			best.offsetNS, best.rttNS = off, rtt
+		}
+	}
+	t.rankInfo[r] = best
+	t.noteRankLocked(r)
+	return nil
+}
+
+// pingLocked runs one ping/pong round trip with rank r and returns the
+// offset estimate (child clock minus driver clock), the round-trip
+// delay, and the child's per-op measured stats. Called with t.mu held;
+// the child is idle in its command loop whenever the mutex is free, so
+// the reply is immediate.
+func (t *Transport) pingLocked(r int) (offsetNS, rttNS int64, st childStats, err error) {
+	t.pingSeq++
+	seq := t.pingSeq
+	c := t.n.conns[r]
+	var body [8]byte
+	t1 := time.Now().UnixNano()
+	binary.LittleEndian.PutUint64(body[:], uint64(t1))
+	if err = c.writeFrame(ftPing, 0, 0, seq, body[:]); err != nil {
+		return 0, 0, st, fmt.Errorf("ping rank %d: %w", r, err)
+	}
+	f, err := c.readFrameWithin(pingTimeout)
+	t4 := time.Now().UnixNano()
+	if err != nil {
+		return 0, 0, st, fmt.Errorf("pong rank %d: %w", r, err)
+	}
+	if f.typ != ftPong || f.seq != seq || len(f.body) < 16 {
+		return 0, 0, st, fmt.Errorf("pong rank %d: bad reply (type %d seq %d)", r, f.typ, f.seq)
+	}
+	t2 := int64(binary.LittleEndian.Uint64(f.body[0:8]))
+	t3 := int64(binary.LittleEndian.Uint64(f.body[8:16]))
+	if len(f.body) > 16 {
+		if jerr := json.Unmarshal(f.body[16:], &st); jerr != nil {
+			return 0, 0, st, fmt.Errorf("pong rank %d stats: %w", r, jerr)
+		}
+	}
+	offsetNS = ((t2 - t1) + (t3 - t4)) / 2
+	rttNS = (t4 - t1) - (t3 - t2)
+	return offsetNS, rttNS, st, nil
+}
+
+// noteRankLocked publishes rank r's freshly observed state: liveness
+// heartbeat plus the rank-labeled telemetry series federated into the
+// driver's /metrics.
+func (t *Transport) noteRankLocked(r int) {
+	telemetry.RankHeartbeat(r)
+	ri := t.rankInfo[r]
+	lbl := telemetry.Label{Key: "rank", Value: strconv.Itoa(r)}
+	telemetry.Observe("dist_rank_up", 1, lbl)
+	telemetry.Observe("dist_rank_clock_offset_ns", float64(ri.offsetNS), lbl)
+	telemetry.Observe("dist_rank_rtt_ns", float64(ri.rttNS), lbl)
+	var ops int64
+	var secs float64
+	for _, m := range ri.stats.Ops {
+		ops += m.Ops
+		secs += m.Seconds
+	}
+	telemetry.Observe("dist_rank_measured_ops", float64(ops), lbl)
+	telemetry.Observe("dist_rank_measured_comm_seconds", secs, lbl)
+}
+
+// heartbeatLoop re-pings every alive rank each period, refreshing clock
+// offsets, liveness, and the federated per-rank series. A tick is
+// skipped when a collective holds the transport (the children are busy
+// in that exact case, and Run's acks already prove liveness). A ping
+// failure on an idle transport is a real protocol breakdown and fails
+// the job like any collective error.
+func (t *Transport) heartbeatLoop(stop <-chan struct{}) {
+	defer t.wg.Done()
+	tick := time.NewTicker(heartbeatPeriod)
+	defer tick.Stop()
+	for {
+		select {
+		case <-stop:
+			return
+		case <-tick.C:
+		}
+		if !t.mu.TryLock() {
+			continue
+		}
+		if t.closing || t.err != nil {
+			t.mu.Unlock()
+			return
+		}
+		for r := 1; r < t.o.Ranks; r++ {
+			if _, dead := t.dead[r]; dead {
+				continue
+			}
+			off, rtt, st, err := t.pingLocked(r)
+			if err != nil {
+				t.failLocked(fmt.Errorf("heartbeat: %w", err))
+				t.mu.Unlock()
+				return
+			}
+			t.rankInfo[r].offsetNS, t.rankInfo[r].rttNS, t.rankInfo[r].stats = off, rtt, st
+			t.noteRankLocked(r)
+		}
+		t.mu.Unlock()
+	}
+}
+
+// writeManifestLocked (re)writes TraceDir/manifest.json: the rank
+// roster, pids, trace file names, and the latest clock offsets — the
+// input obsfile.MergeDir aligns the logs with. Best-effort: capture
+// must never fail the job. Called with t.mu held.
+func (t *Transport) writeManifestLocked() {
+	if t.o.TraceDir == "" || t.o.Ranks == 1 {
+		return
+	}
+	m := obsfile.Manifest{
+		Ranks:     t.o.Ranks,
+		Network:   t.o.Network,
+		DriverPID: os.Getpid(),
+	}
+	m.RankInfo = append(m.RankInfo, obsfile.ManifestRank{
+		Rank: 0, PID: os.Getpid(), File: "rank0.jsonl",
+	})
+	for r := 1; r < t.o.Ranks; r++ {
+		ri := t.rankInfo[r]
+		m.RankInfo = append(m.RankInfo, obsfile.ManifestRank{
+			Rank: r, PID: ri.pid,
+			File:          fmt.Sprintf("rank%d.jsonl", r),
+			ClockOffsetNS: ri.offsetNS,
+			RTTNS:         ri.rttNS,
+		})
+	}
+	if err := obsfile.WriteManifest(t.o.TraceDir, m); err != nil {
+		fmt.Fprintf(os.Stderr, "dist/net: write trace manifest: %v\n", err)
+	}
 }
 
 func setAcceptDeadline(ln net.Listener, d time.Time) {
@@ -262,6 +492,8 @@ func (t *Transport) monitor(r int) {
 	}
 	t.mu.Unlock()
 	if !closing {
+		telemetry.MarkRankDead(r, fmt.Sprintf("rank %d died: %v", r, err))
+		telemetry.Observe("dist_rank_up", 0, telemetry.Label{Key: "rank", Value: strconv.Itoa(r)})
 		// Surface the failure even if the driver is between collectives.
 		t.fail(fmt.Errorf("rank %d died: %v", r, err))
 	}
@@ -286,24 +518,79 @@ func (t *Transport) Run(op dist.Op, totalBytes int64) (float64, error) {
 	}
 	t.seq++
 	seq := t.seq
+	sp := obs.Start(spanCollective)
+	sp.SetStr("op", op.String()).SetInt("seq", int64(seq)).SetInt("bytes", totalBytes)
 	start := time.Now()
 	for r := 1; r < t.o.Ranks; r++ {
 		if err := t.n.conns[r].writeFrame(ftCmd, byte(op), 0, seq, cmdBody(totalBytes)); err != nil {
+			sp.End()
 			return 0, t.failLocked(fmt.Errorf("command rank %d: %w", r, err))
 		}
 	}
-	if err := t.n.run(op, totalBytes, seq); err != nil {
+	if err := t.n.run(op, totalBytes, seq, sp); err != nil {
+		sp.End()
 		return 0, t.failLocked(fmt.Errorf("%v: %w", op, err))
 	}
 	for r := 1; r < t.o.Ranks; r++ {
 		if _, err := t.n.conns[r].expectFrame(ftAck, seq); err != nil {
+			sp.End()
 			return 0, t.failLocked(fmt.Errorf("%v ack from rank %d: %w", op, r, err))
 		}
+		// Every ack proves the rank alive; keep the liveness rollup warm
+		// between heartbeat ticks (which skip while Run holds the mutex).
+		telemetry.RankHeartbeat(r)
 	}
 	secs := time.Since(start).Seconds()
+	sp.SetFloat("measured_s", secs)
+	sp.End()
+	t.opStats[op].n++
+	t.opStats[op].secs += secs
 	telemetry.Observe("dist_measured_comm_seconds", secs,
 		telemetry.Label{Key: "op", Value: op.String()})
 	return secs, nil
+}
+
+// RankStats implements dist.RankStatser: rank 0 is the driver's per-op
+// collective wall clock (fan-out to last ack); child rows carry each
+// rank's local measured totals plus its latest clock offset. On a
+// healthy open transport the child rows are refreshed with a fresh ping
+// sweep so a caller at end-of-suite sees final, not second-old, totals.
+func (t *Transport) RankStats() []dist.RankStat {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	driver := dist.RankStat{Rank: 0, PID: os.Getpid(), Ops: map[string]dist.OpMeasured{}}
+	for op := dist.Op(0); op < dist.NumOps; op++ {
+		if a := t.opStats[op]; a.n > 0 {
+			driver.Ops[op.String()] = dist.OpMeasured{Ops: a.n, Seconds: a.secs}
+			driver.MeasuredOps += a.n
+			driver.MeasuredCommSeconds += a.secs
+		}
+	}
+	if len(driver.Ops) == 0 {
+		driver.Ops = nil
+	}
+	out := []dist.RankStat{driver}
+	for r := 1; r < t.o.Ranks; r++ {
+		_, dead := t.dead[r]
+		if t.n != nil && t.err == nil && !t.closing && !dead {
+			if off, rtt, st, err := t.pingLocked(r); err == nil {
+				t.rankInfo[r].offsetNS, t.rankInfo[r].rttNS, t.rankInfo[r].stats = off, rtt, st
+				t.noteRankLocked(r)
+			}
+		}
+		ri := t.rankInfo[r]
+		rs := dist.RankStat{
+			Rank: r, PID: ri.pid,
+			ClockOffsetNS: ri.offsetNS, RTTNS: ri.rttNS,
+			Ops: ri.stats.Ops,
+		}
+		for _, m := range ri.stats.Ops {
+			rs.MeasuredOps += m.Ops
+			rs.MeasuredCommSeconds += m.Seconds
+		}
+		out = append(out, rs)
+	}
+	return out
 }
 
 // fail records err as the sticky transport error (unless one is already
@@ -355,6 +642,9 @@ func (t *Transport) Close() error {
 		return nil
 	}
 	t.closing = true
+	// Final manifest with the freshest clock offsets before the children
+	// flush and exit on bye.
+	t.writeManifestLocked()
 	if t.n != nil && t.n.conns != nil {
 		for r := 1; r < t.o.Ranks; r++ {
 			if c := t.n.conns[r]; c != nil {
@@ -378,10 +668,14 @@ func (t *Transport) teardown() {
 }
 
 // teardownLocked closes the mesh and reaps every child, escalating to
-// SIGKILL after a grace period. Called with t.mu held; marks closing so
-// monitors treat subsequent exits as expected.
+// SIGTERM and then SIGKILL after grace periods. Called with t.mu held;
+// marks closing so monitors treat subsequent exits as expected.
 func (t *Transport) teardownLocked() {
 	t.closing = true
+	if t.stop != nil {
+		close(t.stop)
+		t.stop = nil
+	}
 	if t.ln != nil {
 		t.ln.Close()
 		t.ln = nil
@@ -400,13 +694,20 @@ func (t *Transport) teardownLocked() {
 		if _, dead := t.dead[r]; dead {
 			continue
 		}
-		// Children exit on bye/EOF; give each a grace period, then kill.
-		// The spawn-time monitor reaps it either way.
+		// Children exit on bye/EOF; give each a grace period. A child
+		// that misses it gets SIGTERM first — its signal handler flushes
+		// the trace/telemetry sinks so a slow rank still leaves a
+		// parseable log — and SIGKILL only if it ignores that too.
 		go func(cmd *exec.Cmd, exited <-chan struct{}) {
 			select {
 			case <-exited:
 			case <-time.After(2 * time.Second):
-				cmd.Process.Kill()
+				cmd.Process.Signal(syscall.SIGTERM)
+				select {
+				case <-exited:
+				case <-time.After(2 * time.Second):
+					cmd.Process.Kill()
+				}
 			}
 		}(cmd, t.exited[r])
 	}

@@ -10,10 +10,13 @@
 //
 //	[0]     magic 'K' (0x4b)
 //	[1]     protocol version (1)
-//	[2]     frame type (hello, peers, ready, cmd, data, ack, err, bye)
-//	[3]     collective op (cmd frames; 0 otherwise)
+//	[2]     frame type (hello, peers, ready, cmd, data, ack, err, bye,
+//	        ping, pong)
+//	[3]     collective op (cmd/data frames; 0 otherwise)
 //	[4:6]   sender rank, little-endian uint16
-//	[6:8]   reserved (0)
+//	[6:8]   step index within a collective, little-endian uint16
+//	        (data frames; 0 otherwise) — with op and seq it keys a sent
+//	        frame to the matching receive for cross-rank trace pairing
 //	[8:12]  sequence number, little-endian uint32
 //	[12:16] payload length, little-endian uint32
 //	[16:20] IEEE CRC-32 of the payload
@@ -51,6 +54,12 @@ const (
 	ftAck
 	ftErr
 	ftBye
+	// ftPing/ftPong carry the NTP-style clock-sync handshake: the driver
+	// sends its wall clock (t1) in an 8-byte ping body; the child replies
+	// with receive/send wall clocks (t2, t3) plus its per-op measured
+	// stats as JSON. Doubles as the liveness heartbeat.
+	ftPing
+	ftPong
 )
 
 // maxWireFrame bounds the payload length a receiver will allocate for;
@@ -61,6 +70,7 @@ type frame struct {
 	typ  byte
 	op   byte
 	from uint16
+	step uint16
 	seq  uint32
 	body []byte
 }
@@ -82,14 +92,22 @@ func newConn(c net.Conn, timeout time.Duration) *conn {
 
 func (c *conn) Close() error { return c.c.Close() }
 
-// appendFrame renders header + payload onto dst.
+// appendFrame renders header + payload onto dst (step 0; data frames
+// use appendFrameStep).
 func appendFrame(dst []byte, typ, op byte, from uint16, seq uint32, body []byte) []byte {
+	return appendFrameStep(dst, typ, op, from, 0, seq, body)
+}
+
+// appendFrameStep renders header + payload onto dst with an explicit
+// collective step index.
+func appendFrameStep(dst []byte, typ, op byte, from, step uint16, seq uint32, body []byte) []byte {
 	var h [headerLen]byte
 	h[0] = wireMagic
 	h[1] = wireVersion
 	h[2] = typ
 	h[3] = op
 	binary.LittleEndian.PutUint16(h[4:6], from)
+	binary.LittleEndian.PutUint16(h[6:8], step)
 	binary.LittleEndian.PutUint32(h[8:12], seq)
 	binary.LittleEndian.PutUint32(h[12:16], uint32(len(body)))
 	binary.LittleEndian.PutUint32(h[16:20], crc32.ChecksumIEEE(body))
@@ -100,10 +118,17 @@ func appendFrame(dst []byte, typ, op byte, from uint16, seq uint32, body []byte)
 // writeFrame sends one frame. The header and payload go out as a single
 // write under the write mutex, so concurrent senders never interleave.
 func (c *conn) writeFrame(typ, op byte, from uint16, seq uint32, body []byte) error {
+	return c.writeFrameStep(typ, op, from, 0, seq, body)
+}
+
+// writeFrameStep is writeFrame with an explicit collective step index
+// (data frames, where the step disambiguates the multiple messages a
+// ring or pairwise exchange sends under one seq).
+func (c *conn) writeFrameStep(typ, op byte, from, step uint16, seq uint32, body []byte) error {
 	if len(body) > maxWireFrame {
 		return fmt.Errorf("frame payload %d exceeds wire limit", len(body))
 	}
-	buf := appendFrame(make([]byte, 0, headerLen+len(body)), typ, op, from, seq, body)
+	buf := appendFrameStep(make([]byte, 0, headerLen+len(body)), typ, op, from, step, seq, body)
 	c.wmu.Lock()
 	defer c.wmu.Unlock()
 	if c.tout > 0 {
@@ -125,6 +150,12 @@ func (c *conn) readFrame(block bool) (frame, error) {
 	} else {
 		c.c.SetReadDeadline(time.Time{})
 	}
+	return c.readLocked()
+}
+
+// readLocked reads and validates one frame; rmu and the read deadline
+// are the caller's business.
+func (c *conn) readLocked() (frame, error) {
 	var h [headerLen]byte
 	if _, err := io.ReadFull(c.r, h[:]); err != nil {
 		return frame{}, err
@@ -136,6 +167,7 @@ func (c *conn) readFrame(block bool) (frame, error) {
 		typ:  h[2],
 		op:   h[3],
 		from: binary.LittleEndian.Uint16(h[4:6]),
+		step: binary.LittleEndian.Uint16(h[6:8]),
 		seq:  binary.LittleEndian.Uint32(h[8:12]),
 	}
 	n := binary.LittleEndian.Uint32(h[12:16])
@@ -153,6 +185,23 @@ func (c *conn) readFrame(block bool) (frame, error) {
 		return frame{}, fmt.Errorf("payload checksum mismatch: got %#x want %#x", got, sum)
 	}
 	return f, nil
+}
+
+// readFrameWithin is readFrame with a one-shot deadline override: the
+// sync/heartbeat pings use a budget much shorter than the collective
+// OpTimeout so a hung rank can't stall the driver's mutex for long.
+func (c *conn) readFrameWithin(d time.Duration) (frame, error) {
+	c.rmu.Lock()
+	defer c.rmu.Unlock()
+	c.c.SetReadDeadline(time.Now().Add(d))
+	f, err := c.readLocked()
+	// Restore the default so a later readFrame isn't cut short.
+	if c.tout > 0 {
+		c.c.SetReadDeadline(time.Now().Add(c.tout))
+	} else {
+		c.c.SetReadDeadline(time.Time{})
+	}
+	return f, err
 }
 
 // expectFrame reads the next frame and requires the given type (and seq

@@ -58,6 +58,50 @@ type Transport interface {
 	Close() error
 }
 
+// OpMeasured is the measured wall-clock total of one collective op on
+// one rank: how many times it ran and the summed seconds.
+type OpMeasured struct {
+	Ops     int64   `json:"ops"`
+	Seconds float64 `json:"seconds"`
+}
+
+// RankStat is one rank's measured communication summary as reported by
+// a multi-process transport. Rank 0 is the driver: its numbers are the
+// full collective wall clock (fan-out to last ack); child ranks report
+// their local n.run wall, so the rows are comparable but not identical.
+type RankStat struct {
+	Rank                int     `json:"rank"`
+	PID                 int     `json:"pid,omitempty"`
+	MeasuredOps         int64   `json:"measured_ops"`
+	MeasuredCommSeconds float64 `json:"measured_comm_seconds"`
+	// ClockOffsetNS is the rank's wall clock minus the driver's, as
+	// estimated by the transport's NTP-style sync pings; RTTNS is the
+	// round-trip delay of the sample the estimate came from (its
+	// half-width bounds the residual skew). Zero for rank 0.
+	ClockOffsetNS int64                 `json:"clock_offset_ns,omitempty"`
+	RTTNS         int64                 `json:"rtt_ns,omitempty"`
+	Ops           map[string]OpMeasured `json:"ops_breakdown,omitempty"`
+}
+
+// RankStatser is implemented by transports that can break the measured
+// collective wall clock down by rank (the socket transport polls its
+// child processes for their local per-op totals).
+type RankStatser interface {
+	RankStats() []RankStat
+}
+
+// RecordMeasured adds one realized collective's wall clock to the
+// dist.measured.* obs counters. Exported for rank processes: a child
+// rank serves collectives without a Grid, so its local trace log gets
+// the measured totals through this instead of Grid.realize. No-op for
+// OpGemm (modeled-only) and while obs is disabled.
+func RecordMeasured(op Op, secs float64) {
+	if op >= NumOps || obsMeasOpSecs[op] == nil {
+		return
+	}
+	observeMeasured(op, secs)
+}
+
 // SetTransport attaches a transport whose collectives are executed for
 // real alongside the modeled accounting; nil detaches (in-process mode).
 // Returns the grid for chaining. Attach before driving the grid.

@@ -80,6 +80,33 @@ func Enable(sinks ...Sink) {
 	enabled.Store(true)
 }
 
+// AddSink attaches one more sink to an already-enabled tracer without
+// resetting counters, the summary, or the trace origin — the way a
+// driver routes its own spans into a per-run rank-trace directory after
+// -trace/-metrics already installed their sinks. No-op while disabled.
+func AddSink(s Sink) {
+	if !enabled.Load() || s == nil {
+		return
+	}
+	tracer.mu.Lock()
+	tracer.sinks = append(tracer.sinks, s)
+	tracer.mu.Unlock()
+}
+
+// Origin returns the trace epoch: the wall-clock instant of the Enable
+// call that all span offsets are relative to. Zero while disabled.
+// Multi-process trace merging (obsfile.MergeRanks) aligns per-rank logs
+// by pairing each log's epoch with the measured inter-process clock
+// offset.
+func Origin() time.Time {
+	tracer.mu.Lock()
+	defer tracer.mu.Unlock()
+	if !enabled.Load() {
+		return time.Time{}
+	}
+	return tracer.origin
+}
+
 // Disable turns collection off and flushes and detaches the sinks,
 // returning the first flush error. Spans still open are dropped.
 func Disable() error {

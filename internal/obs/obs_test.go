@@ -122,15 +122,27 @@ func TestJSONLSink(t *testing.T) {
 		t.Fatal(err)
 	}
 	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
-	if len(lines) != 2 {
-		t.Fatalf("want 2 JSONL lines, got %d: %q", len(lines), buf.String())
+	if len(lines) != 3 {
+		t.Fatalf("want 3 JSONL lines (meta, span, metrics), got %d: %q", len(lines), buf.String())
+	}
+	var meta struct {
+		Type        string `json:"type"`
+		Rank        int    `json:"rank"`
+		PID         int    `json:"pid"`
+		EpochUnixNS int64  `json:"epoch_unix_ns"`
+	}
+	if err := json.Unmarshal([]byte(lines[0]), &meta); err != nil {
+		t.Fatalf("meta line not JSON: %v", err)
+	}
+	if meta.Type != "meta" || meta.Rank != -1 || meta.PID <= 0 || meta.EpochUnixNS <= 0 {
+		t.Fatalf("bad leading meta record: %+v", meta)
 	}
 	var span struct {
 		Type  string                 `json:"type"`
 		Name  string                 `json:"name"`
 		Attrs map[string]interface{} `json:"attrs"`
 	}
-	if err := json.Unmarshal([]byte(lines[0]), &span); err != nil {
+	if err := json.Unmarshal([]byte(lines[1]), &span); err != nil {
 		t.Fatalf("span line not JSON: %v", err)
 	}
 	if span.Type != "span" || span.Name != "phase.a" || span.Attrs["spec"] != "ab,bc->ac" {
@@ -140,7 +152,7 @@ func TestJSONLSink(t *testing.T) {
 		Type    string             `json:"type"`
 		Metrics map[string]float64 `json:"metrics"`
 	}
-	if err := json.Unmarshal([]byte(lines[1]), &metrics); err != nil {
+	if err := json.Unmarshal([]byte(lines[2]), &metrics); err != nil {
 		t.Fatalf("metrics line not JSON: %v", err)
 	}
 	if metrics.Metrics["test.jsonl.counter"] != 9 {

@@ -1,0 +1,510 @@
+// Multi-rank trace merging: fold the per-rank JSONL logs a distributed
+// run captures (one obs.JSONLSink per process, each on its own wall
+// clock) into one trace on the driver's clock. The pipeline is
+//
+//	capture   one rank<N>.jsonl per process + manifest.json (offsets)
+//	align     corrected = offset_us + (epoch_r − clockOffset_r − epoch_0)
+//	merge     span ids remapped per rank, "rank" attribute added
+//	pair      dist.net.send ↔ dist.net.recv matched on the wire key
+//	          (op, seq, step, from, to) into Flow events
+//	analyze   RankUtilization, RankMeasuredOps, CrossRankCriticalPath
+//
+// The clock offsets come from the transport's NTP-style sync pings; the
+// half-width of the best ping's round trip bounds the residual skew,
+// reported as MaxResidualNS.
+
+package obsfile
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Span names of the socket transport's comm instrumentation
+// (internal/dist/net references these; defined here so the analyzer
+// does not import the transport).
+const (
+	SpanCollective = "dist.net.collective"
+	SpanSend       = "dist.net.send"
+	SpanRecv       = "dist.net.recv"
+)
+
+// Manifest is the trace-directory roster the driver maintains
+// (manifest.json): which ranks ran, their pids and trace files, and the
+// latest clock-offset estimates.
+type Manifest struct {
+	Ranks     int            `json:"ranks"`
+	Network   string         `json:"network"`
+	DriverPID int            `json:"driver_pid"`
+	RankInfo  []ManifestRank `json:"rank_info"`
+}
+
+// ManifestRank is one rank's manifest entry.
+type ManifestRank struct {
+	Rank int    `json:"rank"`
+	PID  int    `json:"pid"`
+	File string `json:"file"`
+	// ClockOffsetNS is the rank's wall clock minus the driver's; RTTNS
+	// the round trip of the ping that produced it (0 for rank 0).
+	ClockOffsetNS int64 `json:"clock_offset_ns"`
+	RTTNS         int64 `json:"rtt_ns"`
+}
+
+// WriteManifest writes dir/manifest.json atomically (temp + rename), so
+// a merge racing a rewrite never sees a half manifest.
+func WriteManifest(dir string, m Manifest) error {
+	b, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return err
+	}
+	tmp := filepath.Join(dir, ".manifest.json.tmp")
+	if err := os.WriteFile(tmp, append(b, '\n'), 0o666); err != nil {
+		return err
+	}
+	return os.Rename(tmp, filepath.Join(dir, "manifest.json"))
+}
+
+// ReadManifest reads dir/manifest.json.
+func ReadManifest(dir string) (Manifest, error) {
+	var m Manifest
+	b, err := os.ReadFile(filepath.Join(dir, "manifest.json"))
+	if err != nil {
+		return m, err
+	}
+	if err := json.Unmarshal(b, &m); err != nil {
+		return m, fmt.Errorf("manifest.json: %w", err)
+	}
+	return m, nil
+}
+
+// RankInput is one rank's parsed trace plus its clock alignment.
+type RankInput struct {
+	Rank  int
+	Trace *Trace
+	// EpochUnixNS is the rank's trace origin on its own wall clock; 0
+	// falls back to the trace's meta record.
+	EpochUnixNS int64
+	// ClockOffsetNS is the rank's wall clock minus the driver's (from
+	// the sync pings); RTTNS bounds its error.
+	ClockOffsetNS int64
+	RTTNS         int64
+}
+
+// Merged is the result of MergeRanks: one Trace on the base (rank 0)
+// clock, with pairing and alignment diagnostics.
+type Merged struct {
+	Trace *Trace
+	// Ranks lists the merged rank ids in ascending order; MissingRanks
+	// the ranks MergeDir expected but found no readable log for.
+	Ranks        []int
+	MissingRanks []int
+	// PairsByOp counts the matched send/recv flow events per collective
+	// op; Unmatched* count comm spans with no partner (a missing rank,
+	// a truncated log, or a retried frame's duplicate).
+	PairsByOp      map[string]int
+	UnmatchedSends int
+	UnmatchedRecvs int
+	// MaxAbsOffsetNS is the largest clock correction applied;
+	// MaxResidualNS the worst-case skew remaining after it.
+	MaxAbsOffsetNS int64
+	MaxResidualNS  int64
+}
+
+// idStride separates the id spaces of merged ranks: span ids are
+// per-process counters, so rank r's ids are remapped to (r+1)*idStride+id.
+const idStride int64 = 1 << 40
+
+// MergeRanks merges per-rank traces onto the base clock: rank 0's epoch
+// if present, else the smallest epoch given. Span offsets are shifted by
+// (epoch_r − clockOffset_r − epoch_0); every span gains a "rank"
+// attribute; send/recv spans are paired into Flow events on the wire key
+// (op, seq, step, from, to) — duplicates (a retried frame) pair FIFO in
+// corrected start order, the surplus counted unmatched.
+func MergeRanks(inputs []RankInput) (*Merged, error) {
+	if len(inputs) == 0 {
+		return nil, fmt.Errorf("obsfile: merge of zero rank traces")
+	}
+	sorted := append([]RankInput(nil), inputs...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Rank < sorted[j].Rank })
+
+	epochOf := func(in RankInput) int64 {
+		if in.EpochUnixNS != 0 {
+			return in.EpochUnixNS
+		}
+		if in.Trace != nil && in.Trace.Meta != nil {
+			return in.Trace.Meta.EpochUnixNS
+		}
+		return 0
+	}
+	var baseEpoch int64
+	for _, in := range sorted {
+		e := epochOf(in)
+		if in.Rank == 0 && e != 0 {
+			baseEpoch = e
+			break
+		}
+		if e != 0 && (baseEpoch == 0 || e < baseEpoch) {
+			baseEpoch = e
+		}
+	}
+
+	m := &Merged{PairsByOp: map[string]int{}}
+	out := &Trace{byID: map[int64]*Span{}, Metrics: map[string]float64{}}
+	for _, in := range sorted {
+		if in.Trace == nil {
+			continue
+		}
+		m.Ranks = append(m.Ranks, in.Rank)
+		if off := in.ClockOffsetNS; off > m.MaxAbsOffsetNS || -off > m.MaxAbsOffsetNS {
+			if off < 0 {
+				off = -off
+			}
+			m.MaxAbsOffsetNS = off
+		}
+		if res := in.RTTNS / 2; res > m.MaxResidualNS {
+			m.MaxResidualNS = res
+		}
+		var shiftUS float64
+		if e := epochOf(in); e != 0 && baseEpoch != 0 {
+			shiftUS = float64(e-in.ClockOffsetNS-baseEpoch) / 1e3
+		} else {
+			shiftUS = float64(-in.ClockOffsetNS) / 1e3
+		}
+		remap := func(id int64) int64 {
+			if id == 0 {
+				return 0
+			}
+			return int64(in.Rank+1)*idStride + id
+		}
+		for _, s := range in.Trace.Spans {
+			attrs := make(map[string]interface{}, len(s.Attrs)+1)
+			for k, v := range s.Attrs {
+				attrs[k] = v
+			}
+			attrs["rank"] = float64(in.Rank)
+			ns := &Span{
+				Name: s.Name, ID: remap(s.ID), Parent: remap(s.Parent),
+				OffsetUS: s.OffsetUS + shiftUS, DurUS: s.DurUS,
+				Depth: s.Depth, Track: s.Track, Attrs: attrs,
+			}
+			out.Spans = append(out.Spans, ns)
+			out.byID[ns.ID] = ns
+		}
+		out.Ranks = append(out.Ranks, in.Trace.Ranks...)
+		for k, v := range in.Trace.Metrics {
+			if in.Rank == 0 {
+				out.Metrics[k] = v
+			}
+			// Per-rank measured comm lands under a rank<r>. prefix —
+			// outside the deterministic dist.* namespace by design.
+			if strings.HasPrefix(k, "dist.measured.") {
+				out.Metrics["rank"+strconv.Itoa(in.Rank)+"."+k] = v
+			}
+		}
+		if in.Trace.Truncated {
+			out.Truncated = true
+		}
+	}
+	sort.SliceStable(out.Spans, func(i, j int) bool {
+		return out.Spans[i].EndUS() < out.Spans[j].EndUS()
+	})
+	out.Meta = &TraceMeta{
+		Rank: -1, EpochUnixNS: baseEpoch,
+		Merged: true, RankCount: len(m.Ranks), MaxResidualNS: m.MaxResidualNS,
+	}
+	m.Trace = out
+	m.pairFlows()
+	out.link()
+	return m, nil
+}
+
+// commKey is the wire identity both sides of a point-to-point message
+// agree on.
+type commKey struct {
+	op       string
+	seq      int64
+	step     int64
+	from, to int
+}
+
+func commSpanKey(s *Span) (commKey, bool) {
+	op, _ := s.Attrs["op"].(string)
+	seq, ok1 := s.AttrFloat("seq")
+	step, ok2 := s.AttrFloat("step")
+	from, ok3 := s.AttrFloat("from")
+	to, ok4 := s.AttrFloat("to")
+	if op == "" || !ok1 || !ok2 || !ok3 || !ok4 {
+		return commKey{}, false
+	}
+	return commKey{op: op, seq: int64(seq), step: int64(step), from: int(from), to: int(to)}, true
+}
+
+// pairFlows matches send and recv spans FIFO per wire key.
+func (m *Merged) pairFlows() {
+	sends := map[commKey][]*Span{}
+	recvs := map[commKey][]*Span{}
+	for _, s := range m.Trace.Spans {
+		if s.Name != SpanSend && s.Name != SpanRecv {
+			continue
+		}
+		k, ok := commSpanKey(s)
+		if !ok {
+			continue
+		}
+		if s.Name == SpanSend {
+			sends[k] = append(sends[k], s)
+		} else {
+			recvs[k] = append(recvs[k], s)
+		}
+	}
+	byStart := func(ss []*Span) {
+		sort.SliceStable(ss, func(i, j int) bool { return ss[i].OffsetUS < ss[j].OffsetUS })
+	}
+	keys := make([]commKey, 0, len(sends))
+	for k := range sends {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		a, b := keys[i], keys[j]
+		if a.op != b.op {
+			return a.op < b.op
+		}
+		if a.seq != b.seq {
+			return a.seq < b.seq
+		}
+		if a.step != b.step {
+			return a.step < b.step
+		}
+		if a.from != b.from {
+			return a.from < b.from
+		}
+		return a.to < b.to
+	})
+	for _, k := range keys {
+		ss, rs := sends[k], recvs[k]
+		byStart(ss)
+		byStart(rs)
+		n := len(ss)
+		if len(rs) < n {
+			n = len(rs)
+		}
+		for i := 0; i < n; i++ {
+			m.Trace.Flows = append(m.Trace.Flows, Flow{
+				Op: k.op, Seq: k.seq, Step: k.step, From: k.from, To: k.to,
+				SendID: ss[i].ID, RecvID: rs[i].ID,
+				LatencyUS: rs[i].EndUS() - ss[i].OffsetUS,
+			})
+			m.PairsByOp[k.op]++
+		}
+		m.UnmatchedSends += len(ss) - n
+		m.UnmatchedRecvs += len(rs) - n
+	}
+	// Recvs whose key never saw a send.
+	for k, rs := range recvs {
+		if _, ok := sends[k]; !ok {
+			m.UnmatchedRecvs += len(rs)
+		}
+	}
+}
+
+// MergeDir merges a rank-trace directory: manifest.json names the rank
+// files and clock offsets; without one, every rank<N>.jsonl present is
+// merged with zero offsets. A missing or unreadable rank file is
+// recorded in MissingRanks, not fatal — a crashed rank must not make
+// the surviving traces unreadable.
+func MergeDir(dir string) (*Merged, error) {
+	var entries []ManifestRank
+	if man, err := ReadManifest(dir); err == nil {
+		entries = man.RankInfo
+	} else if os.IsNotExist(err) {
+		paths, _ := filepath.Glob(filepath.Join(dir, "rank*.jsonl"))
+		sort.Strings(paths)
+		for _, p := range paths {
+			base := filepath.Base(p)
+			r, cerr := strconv.Atoi(strings.TrimSuffix(strings.TrimPrefix(base, "rank"), ".jsonl"))
+			if cerr != nil {
+				continue
+			}
+			entries = append(entries, ManifestRank{Rank: r, File: base})
+		}
+	} else {
+		return nil, err
+	}
+	if len(entries) == 0 {
+		return nil, fmt.Errorf("obsfile: no rank traces in %s", dir)
+	}
+	var inputs []RankInput
+	var missing []int
+	for _, e := range entries {
+		t, err := ReadFile(filepath.Join(dir, e.File))
+		if err != nil {
+			missing = append(missing, e.Rank)
+			continue
+		}
+		inputs = append(inputs, RankInput{
+			Rank: e.Rank, Trace: t,
+			ClockOffsetNS: e.ClockOffsetNS, RTTNS: e.RTTNS,
+		})
+	}
+	if len(inputs) == 0 {
+		return nil, fmt.Errorf("obsfile: no readable rank traces in %s (missing ranks %v)", dir, missing)
+	}
+	m, err := MergeRanks(inputs)
+	if err != nil {
+		return nil, err
+	}
+	m.MissingRanks = missing
+	return m, nil
+}
+
+// WriteJSONL serializes the merged trace in the standard JSONL log
+// format (readable back with Read/ReadFile, analyzable by koala-obs
+// report): meta, spans in end order, rank records, flow records,
+// metrics.
+func (m *Merged) WriteJSONL(w io.Writer) error {
+	write := func(rec interface{}) error {
+		b, err := json.Marshal(rec)
+		if err != nil {
+			return err
+		}
+		_, err = fmt.Fprintf(w, "%s\n", b)
+		return err
+	}
+	meta := m.Trace.Meta
+	if err := write(struct {
+		Type          string `json:"type"`
+		Rank          int    `json:"rank"`
+		EpochUnixNS   int64  `json:"epoch_unix_ns"`
+		Merged        bool   `json:"merged"`
+		Ranks         int    `json:"ranks"`
+		MaxResidualNS int64  `json:"max_residual_ns"`
+	}{"meta", -1, meta.EpochUnixNS, true, meta.RankCount, meta.MaxResidualNS}); err != nil {
+		return err
+	}
+	for _, s := range m.Trace.Spans {
+		if err := write(struct {
+			Type     string                 `json:"type"`
+			Name     string                 `json:"name"`
+			ID       int64                  `json:"id"`
+			Parent   int64                  `json:"parent,omitempty"`
+			OffsetUS float64                `json:"offset_us"`
+			DurUS    float64                `json:"dur_us"`
+			Depth    int                    `json:"depth"`
+			Track    int                    `json:"track,omitempty"`
+			Attrs    map[string]interface{} `json:"attrs,omitempty"`
+		}{"span", s.Name, s.ID, s.Parent, s.OffsetUS, s.DurUS, s.Depth, s.Track, s.Attrs}); err != nil {
+			return err
+		}
+	}
+	for _, r := range m.Trace.Ranks {
+		rec := r
+		rec.Segments = nil
+		if err := write(struct {
+			Type string  `json:"type"`
+			Grid string  `json:"grid"`
+			Rank int     `json:"rank"`
+			Comp float64 `json:"comp_s"`
+			Lat  float64 `json:"lat_s"`
+			BW   float64 `json:"bw_s"`
+			Wait float64 `json:"wait_s"`
+		}{"rank", rec.Grid, rec.Rank, rec.CompSeconds, rec.LatSeconds, rec.BWSeconds, rec.WaitSeconds}); err != nil {
+			return err
+		}
+	}
+	for _, f := range m.Trace.Flows {
+		if err := write(struct {
+			Type      string  `json:"type"`
+			Op        string  `json:"op"`
+			Seq       int64   `json:"seq"`
+			Step      int64   `json:"step"`
+			From      int     `json:"from"`
+			To        int     `json:"to"`
+			SendID    int64   `json:"send_id"`
+			RecvID    int64   `json:"recv_id"`
+			LatencyUS float64 `json:"latency_us"`
+		}{"flow", f.Op, f.Seq, f.Step, f.From, f.To, f.SendID, f.RecvID, f.LatencyUS}); err != nil {
+			return err
+		}
+	}
+	return write(struct {
+		Type    string             `json:"type"`
+		Metrics map[string]float64 `json:"metrics"`
+	}{"metrics", m.Trace.Metrics})
+}
+
+// chromeEv is a Chrome trace_event record, including the flow-event
+// fields (id/cat/bp) the obs sink's plain span events never need.
+type chromeEv struct {
+	Name string                 `json:"name"`
+	Ph   string                 `json:"ph"`
+	TS   float64                `json:"ts"`
+	Dur  float64                `json:"dur,omitempty"`
+	PID  int                    `json:"pid"`
+	TID  int                    `json:"tid"`
+	ID   int                    `json:"id,omitempty"`
+	Cat  string                 `json:"cat,omitempty"`
+	BP   string                 `json:"bp,omitempty"`
+	Args map[string]interface{} `json:"args,omitempty"`
+}
+
+// WriteChromeTrace serializes the merged trace as Chrome trace_event
+// JSON: one process per rank (pid = rank+1, named), spans on their
+// original thread lanes with skew-corrected timestamps, and one flow
+// event arrow per matched send/recv pair.
+func (m *Merged) WriteChromeTrace(w io.Writer) error {
+	var evs []chromeEv
+	named := map[int]bool{}
+	for _, s := range m.Trace.Spans {
+		rank := 0
+		if v, ok := s.AttrFloat("rank"); ok {
+			rank = int(v)
+		}
+		pid := rank + 1
+		if !named[pid] {
+			named[pid] = true
+			name := fmt.Sprintf("rank %d", rank)
+			if rank == 0 {
+				name += " (driver)"
+			}
+			evs = append(evs, chromeEv{
+				Name: "process_name", Ph: "M", PID: pid, TID: 0,
+				Args: map[string]interface{}{"name": name},
+			})
+			evs = append(evs, chromeEv{
+				Name: "process_sort_index", Ph: "M", PID: pid, TID: 0,
+				Args: map[string]interface{}{"sort_index": rank},
+			})
+		}
+		evs = append(evs, chromeEv{
+			Name: s.Name, Ph: "X", TS: s.OffsetUS, Dur: s.DurUS,
+			PID: pid, TID: 1 + s.Track, Args: s.Attrs,
+		})
+	}
+	rankOf := func(id int64) int { return int(id/idStride) - 1 }
+	for i, f := range m.Trace.Flows {
+		send, recv := m.Trace.Span(f.SendID), m.Trace.Span(f.RecvID)
+		if send == nil || recv == nil {
+			continue
+		}
+		evs = append(evs, chromeEv{
+			Name: f.Op, Ph: "s", Cat: "comm", ID: i + 1,
+			TS: send.EndUS(), PID: rankOf(send.ID) + 1, TID: 1 + send.Track,
+		})
+		evs = append(evs, chromeEv{
+			Name: f.Op, Ph: "f", BP: "e", Cat: "comm", ID: i + 1,
+			TS: recv.EndUS(), PID: rankOf(recv.ID) + 1, TID: 1 + recv.Track,
+		})
+	}
+	b, err := json.MarshalIndent(evs, "", " ")
+	if err != nil {
+		return err
+	}
+	_, err = w.Write(append(b, '\n'))
+	return err
+}

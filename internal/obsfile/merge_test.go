@@ -1,0 +1,362 @@
+package obsfile
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// mkTrace assembles a parsed-looking trace from raw spans (linking the
+// tree exactly as Read would).
+func mkTrace(epochNS int64, spans ...*Span) *Trace {
+	t := &Trace{byID: map[int64]*Span{}}
+	for _, s := range spans {
+		t.Spans = append(t.Spans, s)
+		t.byID[s.ID] = s
+	}
+	if epochNS != 0 {
+		t.Meta = &TraceMeta{EpochUnixNS: epochNS}
+	}
+	t.link()
+	return t
+}
+
+func commSpan(name string, id int64, off, dur float64, op string, seq, step, from, to int) *Span {
+	return &Span{
+		Name: name, ID: id, OffsetUS: off, DurUS: dur,
+		Attrs: map[string]interface{}{
+			"op": op, "seq": float64(seq), "step": float64(step),
+			"from": float64(from), "to": float64(to),
+		},
+	}
+}
+
+func TestMergeRanksClockAlignment(t *testing.T) {
+	// Rank 1's clock runs 2ms ahead of the driver's and its trace epoch
+	// started 5ms later (on its own clock): a span at local offset 0
+	// lands at 5ms − 2ms = 3ms on the merged timeline.
+	base := int64(1_000_000_000_000)
+	r0 := mkTrace(base, &Span{Name: "compute", ID: 1, OffsetUS: 0, DurUS: 100})
+	r1 := mkTrace(base+5_000_000, &Span{Name: "compute", ID: 1, OffsetUS: 0, DurUS: 100})
+	m, err := MergeRanks([]RankInput{
+		{Rank: 0, Trace: r0},
+		{Rank: 1, Trace: r1, ClockOffsetNS: 2_000_000, RTTNS: 10_000},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var r1span *Span
+	for _, s := range m.Trace.Spans {
+		if v, _ := s.AttrFloat("rank"); v == 1 {
+			r1span = s
+		}
+	}
+	if r1span == nil {
+		t.Fatal("rank 1 span missing from merge")
+	}
+	if got, want := r1span.OffsetUS, 3000.0; got != want {
+		t.Fatalf("rank 1 corrected offset %.1fus, want %.1f", got, want)
+	}
+	if m.MaxAbsOffsetNS != 2_000_000 || m.MaxResidualNS != 5_000 {
+		t.Fatalf("alignment diagnostics: offset %d residual %d", m.MaxAbsOffsetNS, m.MaxResidualNS)
+	}
+	if m.Trace.Meta == nil || !m.Trace.Meta.Merged || m.Trace.Meta.RankCount != 2 {
+		t.Fatalf("merged meta: %+v", m.Trace.Meta)
+	}
+}
+
+func TestMergeRanksNegativeOffset(t *testing.T) {
+	// A rank whose clock trails the driver's: negative offset must shift
+	// spans later, and count into MaxAbsOffsetNS by magnitude.
+	base := int64(1_000_000_000_000)
+	r1 := mkTrace(base, &Span{Name: "compute", ID: 1, OffsetUS: 10, DurUS: 5})
+	m, err := MergeRanks([]RankInput{
+		{Rank: 0, Trace: mkTrace(base, &Span{Name: "compute", ID: 1, OffsetUS: 0, DurUS: 1})},
+		{Rank: 1, Trace: r1, ClockOffsetNS: -4_000_000, RTTNS: 8_000},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got float64
+	for _, s := range m.Trace.Spans {
+		if v, _ := s.AttrFloat("rank"); v == 1 {
+			got = s.OffsetUS
+		}
+	}
+	if want := 4010.0; got != want {
+		t.Fatalf("negative-offset correction: offset %.1fus, want %.1f", got, want)
+	}
+	if m.MaxAbsOffsetNS != 4_000_000 {
+		t.Fatalf("MaxAbsOffsetNS %d, want 4000000", m.MaxAbsOffsetNS)
+	}
+}
+
+func TestMergeRanksFlowPairing(t *testing.T) {
+	// Sender on rank 0, receiver on rank 1; spans deliberately given out
+	// of order and with overlapping timelines. One bcast pair plus one
+	// gather pair; a stray recv with no matching send stays unmatched.
+	base := int64(1_000_000_000_000)
+	r0 := mkTrace(base,
+		commSpan(SpanSend, 2, 50, 10, "gather", 7, 1, 0, 1),
+		commSpan(SpanSend, 1, 10, 10, "bcast", 5, 1, 0, 1),
+		&Span{Name: "compute", ID: 3, OffsetUS: 0, DurUS: 80},
+	)
+	r1 := mkTrace(base,
+		commSpan(SpanRecv, 1, 12, 20, "bcast", 5, 1, 0, 1),
+		commSpan(SpanRecv, 2, 55, 20, "gather", 7, 1, 0, 1),
+		commSpan(SpanRecv, 3, 90, 5, "alltoall", 9, 2, 3, 1),
+	)
+	m, err := MergeRanks([]RankInput{{Rank: 0, Trace: r0}, {Rank: 1, Trace: r1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Trace.Flows) != 2 {
+		t.Fatalf("want 2 flows, got %d: %+v", len(m.Trace.Flows), m.Trace.Flows)
+	}
+	if m.PairsByOp["bcast"] != 1 || m.PairsByOp["gather"] != 1 {
+		t.Fatalf("pairs by op: %v", m.PairsByOp)
+	}
+	if m.UnmatchedRecvs != 1 || m.UnmatchedSends != 0 {
+		t.Fatalf("unmatched: sends %d recvs %d", m.UnmatchedSends, m.UnmatchedRecvs)
+	}
+	for _, f := range m.Trace.Flows {
+		send, recv := m.Trace.Span(f.SendID), m.Trace.Span(f.RecvID)
+		if send == nil || recv == nil || send.Name != SpanSend || recv.Name != SpanRecv {
+			t.Fatalf("flow ids don't resolve to send/recv spans: %+v", f)
+		}
+		if f.LatencyUS != recv.EndUS()-send.OffsetUS {
+			t.Fatalf("flow latency %.1f, want %.1f", f.LatencyUS, recv.EndUS()-send.OffsetUS)
+		}
+	}
+}
+
+func TestMergeRanksRetriedFrame(t *testing.T) {
+	// A retried frame leaves two send spans with the same wire key; FIFO
+	// pairing matches the earlier one and counts the duplicate unmatched.
+	base := int64(1_000_000_000_000)
+	r0 := mkTrace(base,
+		commSpan(SpanSend, 1, 10, 5, "bcast", 5, 1, 0, 1),
+		commSpan(SpanSend, 2, 30, 5, "bcast", 5, 1, 0, 1), // retry
+	)
+	r1 := mkTrace(base, commSpan(SpanRecv, 1, 12, 6, "bcast", 5, 1, 0, 1))
+	m, err := MergeRanks([]RankInput{{Rank: 0, Trace: r0}, {Rank: 1, Trace: r1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Trace.Flows) != 1 || m.UnmatchedSends != 1 {
+		t.Fatalf("retried frame: flows %d unmatched sends %d", len(m.Trace.Flows), m.UnmatchedSends)
+	}
+	send := m.Trace.Span(m.Trace.Flows[0].SendID)
+	if send.OffsetUS != 10 {
+		t.Fatalf("FIFO pairing picked the retry (offset %.1f), want the original", send.OffsetUS)
+	}
+}
+
+func TestMergeDirMissingRank(t *testing.T) {
+	dir := t.TempDir()
+	man := Manifest{Ranks: 3, Network: "unix", RankInfo: []ManifestRank{
+		{Rank: 0, File: "rank0.jsonl"},
+		{Rank: 1, File: "rank1.jsonl", ClockOffsetNS: 1000},
+		{Rank: 2, File: "rank2.jsonl"}, // never written (crashed before setup)
+	}}
+	if err := WriteManifest(dir, man); err != nil {
+		t.Fatal(err)
+	}
+	for r := 0; r < 2; r++ {
+		log := fmt.Sprintf(`{"type":"meta","rank":%d,"pid":1,"epoch_unix_ns":1000000000000}
+{"type":"span","name":"compute","id":1,"offset_us":0,"dur_us":10}
+{"type":"metrics","metrics":{"dist.measured.bcast_seconds":0.5,"dist.measured.bcast_ops":2}}
+`, r)
+		if err := os.WriteFile(filepath.Join(dir, fmt.Sprintf("rank%d.jsonl", r)), []byte(log), 0o666); err != nil {
+			t.Fatal(err)
+		}
+	}
+	m, err := MergeDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.MissingRanks) != 1 || m.MissingRanks[0] != 2 {
+		t.Fatalf("missing ranks %v, want [2]", m.MissingRanks)
+	}
+	if len(m.Ranks) != 2 {
+		t.Fatalf("merged ranks %v", m.Ranks)
+	}
+	if m.Trace.Metrics["rank1.dist.measured.bcast_seconds"] != 0.5 {
+		t.Fatalf("per-rank measured metrics missing: %v", m.Trace.Metrics)
+	}
+	// Rank 0's metrics also land unprefixed.
+	if m.Trace.Metrics["dist.measured.bcast_seconds"] != 0.5 {
+		t.Fatalf("rank 0 base metrics missing: %v", m.Trace.Metrics)
+	}
+}
+
+func TestMergeDirNoManifest(t *testing.T) {
+	dir := t.TempDir()
+	log := `{"type":"meta","rank":1,"pid":1,"epoch_unix_ns":1000000000000}
+{"type":"span","name":"compute","id":1,"offset_us":0,"dur_us":10}
+`
+	if err := os.WriteFile(filepath.Join(dir, "rank1.jsonl"), []byte(log), 0o666); err != nil {
+		t.Fatal(err)
+	}
+	m, err := MergeDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Ranks) != 1 || m.Ranks[0] != 1 {
+		t.Fatalf("globbed merge ranks %v", m.Ranks)
+	}
+}
+
+func TestReadTruncatedFinalLine(t *testing.T) {
+	log := `{"type":"meta","rank":2,"pid":9,"epoch_unix_ns":5}
+{"type":"span","name":"a","id":1,"offset_us":0,"dur_us":10}
+{"type":"span","name":"b","id":2,"offs`
+	tr, err := Read(strings.NewReader(log))
+	if err != nil {
+		t.Fatalf("truncated final line must not fail the read: %v", err)
+	}
+	if !tr.Truncated {
+		t.Fatal("Truncated flag not set")
+	}
+	if len(tr.Spans) != 1 || tr.Spans[0].Name != "a" {
+		t.Fatalf("intact prefix not preserved: %+v", tr.Spans)
+	}
+	if tr.Meta == nil || tr.Meta.Rank != 2 {
+		t.Fatalf("meta record lost: %+v", tr.Meta)
+	}
+	// A malformed line with intact lines after it is still an error.
+	bad := `{"type":"span","name":"a","id":1,"offs
+{"type":"span","name":"b","id":2,"offset_us":0,"dur_us":1}
+`
+	if _, err := Read(strings.NewReader(bad)); err == nil {
+		t.Fatal("mid-file corruption must fail the read")
+	}
+}
+
+func TestRankUtilization(t *testing.T) {
+	base := int64(1_000_000_000_000)
+	r0 := mkTrace(base,
+		&Span{Name: "compute", ID: 1, OffsetUS: 0, DurUS: 600_000},
+		&Span{Name: SpanCollective, ID: 2, OffsetUS: 600_000, DurUS: 400_000,
+			Attrs: map[string]interface{}{"op": "bcast", "seq": float64(1), "bytes": float64(8)}},
+	)
+	r1 := mkTrace(base,
+		&Span{Name: SpanCollective, ID: 1, OffsetUS: 100_000, DurUS: 200_000,
+			Attrs: map[string]interface{}{"op": "bcast", "seq": float64(1), "bytes": float64(8)}},
+	)
+	m, err := MergeRanks([]RankInput{{Rank: 0, Trace: r0}, {Rank: 1, Trace: r1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	utils := m.Trace.RankUtilization()
+	if len(utils) != 2 {
+		t.Fatalf("want 2 rank rows, got %+v", utils)
+	}
+	u0, u1 := utils[0], utils[1]
+	if u0.Rank != 0 || u1.Rank != 1 {
+		t.Fatalf("rank order: %+v", utils)
+	}
+	const eps = 1e-9
+	if diff := u0.WallS - 1.0; diff > eps || diff < -eps {
+		t.Fatalf("global window %.3fs, want 1.0", u0.WallS)
+	}
+	if u0.CommS != 0.4 || u0.ComputeS != 0.6 {
+		t.Fatalf("rank 0 comm %.3f compute %.3f", u0.CommS, u0.ComputeS)
+	}
+	if u1.CommS != 0.2 || u1.ComputeS != 0 {
+		t.Fatalf("rank 1 comm %.3f compute %.3f", u1.CommS, u1.ComputeS)
+	}
+	if diff := u1.IdleS - 0.8; diff > eps || diff < -eps {
+		t.Fatalf("rank 1 idle %.3fs, want 0.8", u1.IdleS)
+	}
+}
+
+func TestCrossRankCriticalPath(t *testing.T) {
+	// rank0 send(20) -> rank1 recv(30) -> rank1 send(10) -> rank0 recv(15):
+	// the chain crosses ranks twice; total = 20+30+10+15 = 75us. A lone
+	// fat span on rank 2 (40us, no predecessors) must lose to the chain.
+	base := int64(1_000_000_000_000)
+	r0 := mkTrace(base,
+		commSpan(SpanSend, 1, 0, 20, "allreduce", 1, 1, 0, 1),
+		commSpan(SpanRecv, 2, 70, 15, "allreduce", 1, 16384+1, 1, 0),
+	)
+	r1 := mkTrace(base,
+		commSpan(SpanRecv, 1, 5, 30, "allreduce", 1, 1, 0, 1),
+		commSpan(SpanSend, 2, 40, 10, "allreduce", 1, 16384+1, 1, 0),
+	)
+	r2 := mkTrace(base,
+		commSpan(SpanSend, 1, 0, 40, "gather", 2, 1, 2, 3), // unmatched, off-path
+	)
+	m, err := MergeRanks([]RankInput{
+		{Rank: 0, Trace: r0}, {Rank: 1, Trace: r1}, {Rank: 2, Trace: r2},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cp := m.Trace.CrossRankCriticalPath()
+	if cp == nil {
+		t.Fatal("no critical path on a trace with comm spans")
+	}
+	if len(cp.Steps) != 4 {
+		t.Fatalf("want 4 steps, got %d: %+v", len(cp.Steps), cp.Steps)
+	}
+	if cp.TotalUS != 75 {
+		t.Fatalf("critical path %.1fus, want 75", cp.TotalUS)
+	}
+	crossings := 0
+	for _, st := range cp.Steps {
+		if st.CrossRank {
+			crossings++
+		}
+	}
+	if crossings != 2 {
+		t.Fatalf("want 2 cross-rank hops, got %d", crossings)
+	}
+}
+
+func TestMergedTraceJSONLRoundTrip(t *testing.T) {
+	base := int64(1_000_000_000_000)
+	r0 := mkTrace(base, commSpan(SpanSend, 1, 0, 20, "bcast", 1, 1, 0, 1))
+	r0.Metrics = map[string]float64{"dist.measured.bcast_seconds": 0.25, "dist.measured.bcast_ops": 1}
+	r1 := mkTrace(base, commSpan(SpanRecv, 1, 5, 30, "bcast", 1, 1, 0, 1))
+	m, err := MergeRanks([]RankInput{
+		{Rank: 0, Trace: r0},
+		{Rank: 1, Trace: r1, ClockOffsetNS: 1_000, RTTNS: 4_000},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := m.WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Read(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("merged trace not readable: %v\n%s", err, buf.String())
+	}
+	if !back.IsMerged() || back.Meta.RankCount != 2 || back.Meta.MaxResidualNS != 2_000 {
+		t.Fatalf("merged meta lost in round trip: %+v", back.Meta)
+	}
+	if len(back.Spans) != 2 || len(back.Flows) != 1 {
+		t.Fatalf("round trip: %d spans %d flows", len(back.Spans), len(back.Flows))
+	}
+	if back.Metrics["rank0.dist.measured.bcast_seconds"] != 0.25 {
+		t.Fatalf("per-rank metrics lost: %v", back.Metrics)
+	}
+	rows := back.RankMeasuredOps()
+	if len(rows) != 1 || rows[0].Rank != 0 || rows[0].Op != "bcast" || rows[0].Ops != 1 {
+		t.Fatalf("RankMeasuredOps: %+v", rows)
+	}
+	var chrome bytes.Buffer
+	if err := m.WriteChromeTrace(&chrome); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{`"ph": "s"`, `"ph": "f"`, `"rank 1"`, `"rank 0 (driver)"`} {
+		if !strings.Contains(chrome.String(), want) {
+			t.Fatalf("chrome trace missing %s:\n%s", want, chrome.String())
+		}
+	}
+}

@@ -1,0 +1,237 @@
+// Analyses specific to merged multi-rank traces: per-rank
+// compute/comm/idle utilization, the per-rank measured-vs-modeled comm
+// table, and the cross-rank critical path threaded through matched
+// send/recv flow pairs.
+
+package obsfile
+
+import (
+	"regexp"
+	"sort"
+	"strconv"
+)
+
+// RankUtil is one rank's share of the merged run window. Comm is the
+// summed duration of its dist.net.collective spans, compute the summed
+// exclusive time of everything that is not transport instrumentation,
+// and idle the remainder of the window (clamped at zero — overlapping
+// worker lanes can oversubscribe it).
+type RankUtil struct {
+	Rank     int     `json:"rank"`
+	Spans    int     `json:"spans"`
+	WallS    float64 `json:"wall_s"`
+	ComputeS float64 `json:"compute_s"`
+	CommS    float64 `json:"comm_s"`
+	IdleS    float64 `json:"idle_s"`
+}
+
+// RankUtilization computes per-rank utilization over the merged trace's
+// global window (earliest span start to latest span end, so every rank
+// is judged against the same wall clock). Spans without a "rank"
+// attribute (a non-merged trace) fall into rank 0.
+func (t *Trace) RankUtilization() []RankUtil {
+	if len(t.Spans) == 0 {
+		return nil
+	}
+	start, end := t.Spans[0].OffsetUS, t.Spans[0].EndUS()
+	for _, s := range t.Spans {
+		if s.OffsetUS < start {
+			start = s.OffsetUS
+		}
+		if e := s.EndUS(); e > end {
+			end = e
+		}
+	}
+	wallS := (end - start) / 1e6
+	agg := map[int]*RankUtil{}
+	for _, s := range t.Spans {
+		rank := 0
+		if v, ok := s.AttrFloat("rank"); ok {
+			rank = int(v)
+		}
+		u := agg[rank]
+		if u == nil {
+			u = &RankUtil{Rank: rank, WallS: wallS}
+			agg[rank] = u
+		}
+		u.Spans++
+		switch s.Name {
+		case SpanCollective:
+			u.CommS += s.DurUS / 1e6
+		case SpanSend, SpanRecv:
+			// Children of the collective span; already counted.
+		default:
+			u.ComputeS += s.SelfUS() / 1e6
+		}
+	}
+	out := make([]RankUtil, 0, len(agg))
+	for _, u := range agg {
+		u.IdleS = u.WallS - u.CommS - u.ComputeS
+		if u.IdleS < 0 {
+			u.IdleS = 0
+		}
+		out = append(out, *u)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Rank < out[j].Rank })
+	return out
+}
+
+// RankOpRow is one rank's measured wall-clock for one collective op,
+// with the driver's modeled charge for the same op alongside (the model
+// meters the job once, so ModeledS repeats per rank).
+type RankOpRow struct {
+	Rank     int     `json:"rank"`
+	Op       string  `json:"op"`
+	Ops      int64   `json:"measured_ops"`
+	SecondsM float64 `json:"measured_seconds"` // measured on that rank
+	ModeledS float64 `json:"modeled_seconds"`  // modeled total for the op (driver-side)
+}
+
+var rankMeasuredRe = regexp.MustCompile(`^rank(\d+)\.dist\.measured\.([a-z_]+)_seconds$`)
+
+// RankMeasuredOps extracts the per-rank measured-vs-modeled comm table
+// from a merged trace's metrics snapshot (rank<r>.dist.measured.* keys
+// beside the driver's dist.modeled.* charges). Sorted by rank then op.
+func (t *Trace) RankMeasuredOps() []RankOpRow {
+	var rows []RankOpRow
+	for k, v := range t.Metrics {
+		m := rankMeasuredRe.FindStringSubmatch(k)
+		if m == nil {
+			continue
+		}
+		rank, _ := strconv.Atoi(m[1])
+		op := m[2]
+		row := RankOpRow{Rank: rank, Op: op, SecondsM: v}
+		row.Ops = int64(t.Metrics["rank"+m[1]+".dist.measured."+op+"_ops"])
+		row.ModeledS = t.Metrics["dist.modeled."+op+"_seconds"]
+		rows = append(rows, row)
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].Rank != rows[j].Rank {
+			return rows[i].Rank < rows[j].Rank
+		}
+		return rows[i].Op < rows[j].Op
+	})
+	return rows
+}
+
+// CrossStep is one hop of the cross-rank critical path.
+type CrossStep struct {
+	Span *Span
+	Rank int
+	// CrossRank marks a hop reached from the previous step over a
+	// matched send→recv flow edge (a rank switch), as opposed to
+	// serialization on the same rank.
+	CrossRank bool
+}
+
+// CrossPath is the heaviest dependency chain through the merged trace's
+// point-to-point messages.
+type CrossPath struct {
+	Steps   []CrossStep
+	TotalUS float64
+}
+
+// CrossRankCriticalPath finds the longest chain of dist.net.send /
+// dist.net.recv spans under the dependency order: a comm span follows
+// every earlier-finishing comm span on its own rank that ended before it
+// started, and a recv follows the send the flow records paired it with.
+// This is the skew-corrected path an imbalance analysis should chase —
+// the chain that, shortened, shortens the run. Returns nil when the
+// trace has no comm spans.
+func (t *Trace) CrossRankCriticalPath() *CrossPath {
+	type nd struct {
+		s    *Span
+		rank int
+		cp   float64
+		pred int // index into nodes; -1 none
+		flow bool
+	}
+	var nodes []nd
+	idxByID := map[int64]int{}
+	for _, s := range t.Spans {
+		if s.Name != SpanSend && s.Name != SpanRecv {
+			continue
+		}
+		rank := 0
+		if v, ok := s.AttrFloat("rank"); ok {
+			rank = int(v)
+		}
+		nodes = append(nodes, nd{s: s, rank: rank, pred: -1})
+	}
+	if len(nodes) == 0 {
+		return nil
+	}
+	sort.SliceStable(nodes, func(i, j int) bool { return nodes[i].s.EndUS() < nodes[j].s.EndUS() })
+	for i := range nodes {
+		idxByID[nodes[i].s.ID] = i
+	}
+	sendOf := map[int64]int64{} // recv span id -> send span id
+	for _, f := range t.Flows {
+		sendOf[f.RecvID] = f.SendID
+	}
+	// done[rank] holds that rank's processed nodes in end order with a
+	// running prefix-max of cp, so the best same-rank predecessor that
+	// ended before a start is one binary search away.
+	type fin struct {
+		endUS  float64
+		bestCP float64
+		bestAt int
+	}
+	done := map[int][]fin{}
+	for i := range nodes {
+		n := &nodes[i]
+		// Same-rank serialization edge.
+		fs := done[n.rank]
+		lo, hi := 0, len(fs)
+		for lo < hi {
+			mid := (lo + hi) / 2
+			if fs[mid].endUS <= n.s.OffsetUS {
+				lo = mid + 1
+			} else {
+				hi = mid
+			}
+		}
+		if lo > 0 {
+			n.cp = fs[lo-1].bestCP
+			n.pred = fs[lo-1].bestAt
+		}
+		// Flow edge: the matched send must finish before the recv does
+		// (guaranteed up to residual skew; guard against the pathological
+		// case so the DP stays acyclic).
+		if sid, ok := sendOf[n.s.ID]; ok {
+			if j, ok := idxByID[sid]; ok && j < i && nodes[j].cp > n.cp {
+				n.cp = nodes[j].cp
+				n.pred = j
+				n.flow = true
+			}
+		}
+		n.cp += n.s.DurUS
+		f := fin{endUS: n.s.EndUS(), bestCP: n.cp, bestAt: i}
+		if len(fs) > 0 && fs[len(fs)-1].bestCP > f.bestCP {
+			f.bestCP = fs[len(fs)-1].bestCP
+			f.bestAt = fs[len(fs)-1].bestAt
+		}
+		done[n.rank] = append(fs, f)
+	}
+	best := 0
+	for i := range nodes {
+		if nodes[i].cp > nodes[best].cp {
+			best = i
+		}
+	}
+	var steps []CrossStep
+	for i := best; i >= 0; {
+		n := nodes[i]
+		steps = append(steps, CrossStep{Span: n.s, Rank: n.rank, CrossRank: n.flow})
+		i = n.pred
+	}
+	for l, r := 0, len(steps)-1; l < r; l, r = l+1, r-1 {
+		steps[l], steps[r] = steps[r], steps[l]
+	}
+	// CrossRank marks the edge *into* a step; the first step has none.
+	if len(steps) > 0 {
+		steps[0].CrossRank = false
+	}
+	return &CrossPath{Steps: steps, TotalUS: nodes[best].cp}
+}

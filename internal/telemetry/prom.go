@@ -208,7 +208,13 @@ func WriteMetrics(w io.Writer) {
 		{"health_checkpoint_failures", health.CheckpointFailures()},
 		{"health_sym_fallbacks", health.SymFallbacks()},
 	} {
+		// The obs counter dump above may already have exported the same
+		// counter (same underlying atomic) when collection is on; a second
+		// sample would fail the strict parser.
 		name := MetricPrefix + c.name
+		if seen[name] {
+			continue
+		}
 		typeLine(w, seen, name, "counter")
 		fmt.Fprintf(w, "%s %d\n", name, c.v)
 	}

@@ -449,4 +449,5 @@ func Reset() {
 	runInfo.labels = nil
 	runInfo.start = time.Time{}
 	runInfo.mu.Unlock()
+	ResetRanks()
 }

@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"gokoala/internal/health"
+	"gokoala/internal/obs"
 	"gokoala/internal/tensor"
 )
 
@@ -405,4 +406,26 @@ func TestWriteMetricsValidUnderConcurrentLoad(t *testing.T) {
 	}
 	close(stop)
 	wg.Wait()
+}
+
+// With obs collection on, the obs counter dump exports the health
+// counters (same underlying atomics) before the static health block;
+// the block must skip already-emitted names or the strict parser sees
+// duplicate samples.
+func TestExpositionNoDuplicateHealthSamples(t *testing.T) {
+	resetAll(t)
+	obs.Enable()
+	t.Cleanup(func() { obs.Disable() })
+	health.CountGramFallback()
+	SetActive(true)
+
+	var buf strings.Builder
+	WriteMetrics(&buf)
+	samples, err := ParseMetrics(strings.NewReader(buf.String()))
+	if err != nil {
+		t.Fatalf("exposition rejected by strict parser: %v", err)
+	}
+	if v := samples["koala_health_gram_fallbacks"]; v != 1 {
+		t.Fatalf("koala_health_gram_fallbacks = %g, want 1", v)
+	}
 }
